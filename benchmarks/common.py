@@ -1,0 +1,44 @@
+"""Shared helpers for the experiment benchmarks (E1–E12).
+
+Each ``test_eN_*`` module reproduces one table/figure from the
+reconstructed evaluation (see DESIGN.md's experiment index): it runs
+the experiment, prints the table (visible in ``bench_output.txt``),
+asserts the qualitative *shape* the taxonomy predicts, and registers a
+representative kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from repro import Network, Simulator
+from repro.analysis import LatencyStats
+from repro.sim import THREE_CONTINENTS
+
+SITES = ("us-east", "eu", "asia")
+
+
+def geo_network(sim, node_ids, client_sites=None, jitter=0.05):
+    """Network over THREE_CONTINENTS with round-robin node placement
+    plus explicitly placed clients (``{client_id: site}``)."""
+    placement = {}
+    for index, node_id in enumerate(node_ids):
+        placement[node_id] = SITES[index % len(SITES)]
+    for client_id, site in (client_sites or {}).items():
+        placement[client_id] = site
+    return Network(
+        sim, latency=THREE_CONTINENTS.latency_model(placement, jitter=jitter)
+    )
+
+
+def measure_history(history):
+    """(read stats, write stats) over completed ops."""
+    reads, writes = LatencyStats(), LatencyStats()
+    for op in history.completed:
+        (reads if op.is_read else writes).record(op.end - op.start)
+    return reads, writes
+
+
+def emit(capsys, text: str) -> None:
+    """Print a results table to the real terminal (not captured)."""
+    with capsys.disabled():
+        print()
+        print(text)

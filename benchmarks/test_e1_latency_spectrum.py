@@ -1,0 +1,196 @@
+"""E1 ("Figure 1"): the consistency–latency spectrum.
+
+Claim: client-observed latency rises monotonically along
+eventual → session → bounded/quorum → strong, in a geo deployment.
+Workload: YCSB-style read/write rounds, client in the EU, replicas on
+three continents.
+"""
+
+import pytest
+
+from common import SITES, emit, geo_network, measure_history
+from repro import Simulator, spawn
+from repro.analysis import render_table
+from repro.checkers import (
+    check_causal,
+    check_linearizability,
+    stale_read_fraction,
+)
+from repro.client import timeline_session
+from repro.replication import (
+    CausalCluster,
+    ChainCluster,
+    DynamoCluster,
+    MultiPaxosCluster,
+    TimelineCluster,
+)
+
+ROUNDS = 12
+
+
+def drive(sim, write_fn, read_fn, rounds=ROUNDS, read_heavy=False):
+    def script():
+        for i in range(rounds):
+            yield write_fn(f"key-{i % 3}", f"v{i}")
+            yield 5.0
+            reads = 3 if read_heavy else 1
+            for _ in range(reads):
+                yield read_fn(f"key-{i % 3}")
+                yield 5.0
+
+    spawn(sim, script())
+    sim.run()
+
+
+def run_protocol(name, seed=1, read_heavy=False):
+    sim = Simulator(seed=seed)
+    if name.startswith("eventual") or name.startswith("quorum"):
+        r, w = (1, 1) if name.startswith("eventual") else (2, 2)
+        ids = [f"dyn{i}" for i in range(3)]
+        net = geo_network(sim, ids, {"dclient-1": "eu"})
+        cluster = DynamoCluster(sim, net, nodes=3, n=3, r=r, w=w,
+                                node_ids=ids, op_deadline=2_000.0,
+                                client_timeout=4_000.0)
+        client = cluster.connect(coordinator="dyn1")
+        drive(sim, client.put, client.get, read_heavy=read_heavy)
+        history = cluster.history()
+    elif name.startswith("timeline") or name.startswith("session"):
+        ids = [f"tl{i}" for i in range(3)]
+        net = geo_network(
+            sim, ids, {"tlclient-1": "eu", "tl0-fwd": "us-east"},
+        )
+        cluster = TimelineCluster(sim, net, nodes=3, propagation_delay=20.0,
+                                  node_ids=ids)
+        for i in range(3):
+            cluster.set_master(f"key-{i}", "tl0")
+        raw = cluster.connect(home="tl1")
+        if name.startswith("session"):
+            session = timeline_session(raw, guarantees=("ryw", "mr"),
+                                       retry_delay=10.0)
+            drive(sim, session.write, session.read, read_heavy=read_heavy)
+            history = session.history()
+        else:
+            drive(sim, raw.write, raw.read_any, read_heavy=read_heavy)
+            history = cluster.recorder.history()
+    elif name.startswith("causal"):
+        # COPS-style: writer in the EU writes locally; a reader in
+        # Asia reads locally.  Reads are ~free and may be stale, but
+        # the causal checker vouches for the history — the rung's
+        # defining property.
+        ids = [f"cc{i}" for i in range(3)]
+        net = geo_network(
+            sim, ids, {"ccclient-1": "eu", "ccclient-2": "asia"},
+        )
+        cluster = CausalCluster(sim, net, nodes=3, node_ids=ids)
+        writer = cluster.connect(home="cc1", session="writer")
+        reader = cluster.connect(home="cc2", session="reader")
+
+        def writer_loop():
+            for i in range(rounds_for(read_heavy)):
+                yield writer.put(f"key-{i % 3}", f"v{i}")
+                yield 10.0
+
+        def reader_loop():
+            yield 5.0
+            for i in range(rounds_for(read_heavy)):
+                yield reader.get(f"key-{i % 3}")
+                yield 10.0
+
+        spawn(sim, writer_loop())
+        spawn(sim, reader_loop())
+        sim.run()
+        sim.run(until=sim.now + 500.0)
+        history = cluster.history()
+        reads, writes = measure_history(history)
+        return {
+            "protocol": name,
+            "read_ms": reads.mean,
+            "write_ms": writes.mean,
+            "stale": stale_read_fraction(history),
+            "linearizable": check_linearizability(history).ok,
+            "causal_ok": check_causal(history).ok,
+        }
+    elif name.startswith("paxos"):
+        ids = [f"px{i}" for i in range(3)]
+        net = geo_network(sim, ids, {"pxclient-1": "eu"})
+        cluster = MultiPaxosCluster(sim, net, nodes=3, node_ids=ids)
+        cluster.elect()
+        sim.run()
+        client = cluster.connect()
+        drive(sim, client.put, client.get, read_heavy=read_heavy)
+        history = cluster.recorder.history()
+    else:  # chain
+        ids = [f"ch{i}" for i in range(3)]
+        net = geo_network(sim, ids, {"chclient-1": "eu"})
+        cluster = ChainCluster(sim, net, nodes=3, node_ids=ids)
+        client = cluster.connect()
+        drive(sim, client.put, client.get, read_heavy=read_heavy)
+        history = cluster.recorder.history()
+    reads, writes = measure_history(history)
+    return {
+        "protocol": name,
+        "read_ms": reads.mean,
+        "write_ms": writes.mean,
+        "stale": stale_read_fraction(history),
+        "linearizable": check_linearizability(history).ok,
+    }
+
+
+def rounds_for(read_heavy: bool) -> int:
+    return ROUNDS
+
+
+PROTOCOLS = [
+    "eventual R=W=1",
+    "timeline read-local",
+    "causal (COPS, far reader)",
+    "session RYW+MR",
+    "quorum R=W=2",
+    "paxos",
+    "chain",
+]
+
+
+@pytest.mark.parametrize("read_heavy", [False, True])
+def test_e1_spectrum(benchmark, capsys, read_heavy):
+    results = [run_protocol(p, read_heavy=read_heavy) for p in PROTOCOLS]
+    mix = "95/5-ish (3 reads/round)" if read_heavy else "50/50"
+    emit(capsys, render_table(
+        ["protocol", "read ms", "write ms", "stale frac", "linearizable"],
+        [[r["protocol"], round(r["read_ms"], 1), round(r["write_ms"], 1),
+          round(r["stale"], 3), r["linearizable"]] for r in results],
+        title=f"E1: consistency-latency spectrum — EU client, {mix} mix, "
+              f"sites {', '.join(SITES)}",
+    ))
+
+    by_name = {r["protocol"]: r for r in results}
+    # Shape assertions from the taxonomy:
+    # 1. eventual local reads are the cheapest; strong reads cost WAN RTTs.
+    assert by_name["eventual R=W=1"]["read_ms"] < 5.0
+    assert by_name["quorum R=W=2"]["read_ms"] > 50.0
+    assert by_name["paxos"]["read_ms"] > 100.0
+    # 2. session guarantees sit between local reads and quorum reads.
+    assert (
+        by_name["timeline read-local"]["read_ms"]
+        <= by_name["session RYW+MR"]["read_ms"]
+        <= by_name["quorum R=W=2"]["read_ms"] + 60.0
+    )
+    # 3. the strong rungs produce linearizable histories; read-local
+    #    timeline does not (it is the stale rung).
+    assert by_name["paxos"]["linearizable"]
+    assert by_name["chain"]["linearizable"]
+    assert by_name["quorum R=W=2"]["linearizable"]
+    assert not by_name["timeline read-local"]["linearizable"]
+    assert by_name["timeline read-local"]["stale"] > 0.3
+    # 4. the causal rung: local-read cheap, stale allowed, NOT
+    #    linearizable — but machine-checked causal.
+    causal = by_name["causal (COPS, far reader)"]
+    assert causal["read_ms"] < 5.0
+    assert causal["stale"] > 0.3
+    assert not causal["linearizable"]
+    assert causal["causal_ok"]
+
+    benchmark.pedantic(
+        run_protocol, args=("eventual R=W=1",),
+        kwargs={"read_heavy": read_heavy}, rounds=2, iterations=1,
+    )

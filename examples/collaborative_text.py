@@ -1,0 +1,88 @@
+"""Collaborative editing with a sequence CRDT (RGA).
+
+Two users edit one document on different replicas of a gossiping
+cluster; the RGA merge keeps everyone's insertions, keeps each user's
+typed runs contiguous, and converges to the same text everywhere —
+without a server, locks, or operational transforms.
+
+Run:  python examples/collaborative_text.py
+"""
+
+from repro import Network, Simulator, spawn
+from repro.crdt import RGA
+from repro.sim import FixedLatency, Node
+
+
+class DocReplica(Node):
+    """A replica gossiping its full RGA state on a timer."""
+
+    def __init__(self, sim, net, node_id, peers, interval=40.0):
+        super().__init__(sim, net, node_id)
+        self.doc = RGA(node_id)
+        self.peers = peers
+        self.every(interval, self.gossip, jitter=0.4)
+
+    def gossip(self):
+        for peer in self.peers:
+            if peer != self.node_id:
+                self.send(peer, ("state", self.doc.state()))
+
+    def handle_tuple(self, src, msg):
+        _tag, state = msg
+        remote = RGA(src)
+        for node_id, parent, value in state["nodes"]:
+            from repro.crdt.rga import RGANode
+
+            remote._install(RGANode(tuple(node_id), tuple(parent), value))
+        remote._tombstones = {tuple(t) for t in state["tombstones"]}
+        self.doc.merge(remote)
+
+    def text(self):
+        return "".join(self.doc.to_list())
+
+
+def typist(sim, replica, text, start_delay, per_char=15.0):
+    """Types with cursor semantics: each character is parented on the
+    previous one, so the run stays contiguous across merges."""
+
+    def script():
+        yield start_delay
+        cursor = None
+        for ch in text:
+            cursor = replica.doc.insert_after(cursor, ch)
+            yield per_char
+
+    spawn(sim, script())
+
+
+def main() -> None:
+    print(__doc__)
+    sim = Simulator(seed=21)
+    net = Network(sim, latency=FixedLatency(8.0))
+    ids = ["alice", "bob", "carol"]
+    replicas = {
+        node_id: DocReplica(sim, net, node_id, ids) for node_id in ids
+    }
+    # Alice and Bob type concurrently on their own replicas.
+    typist(sim, replicas["alice"], "eventual consistency ", 0.0)
+    typist(sim, replicas["bob"], "is convergence ", 5.0)
+    sim.run(until=800.0)
+    # Carol fixes a typo: delete the trailing space on her replica.
+    carol = replicas["carol"]
+    if len(carol.doc) and carol.doc[len(carol.doc) - 1] == " ":
+        carol.doc.delete(len(carol.doc) - 1)
+    sim.run(until=1500.0)
+
+    texts = {node_id: replica.text() for node_id, replica in replicas.items()}
+    for node_id, text in texts.items():
+        print(f"{node_id:>6}: {text!r}")
+    assert len(set(texts.values())) == 1, "replicas diverged!"
+    final = texts["alice"]
+    assert "eventual consistency" in final
+    assert "is convergence" in final
+    print("\nConverged: every replica shows the same text, both users'")
+    print("contributions intact, typed runs uninterleaved.")
+
+
+if __name__ == "__main__":
+    main()

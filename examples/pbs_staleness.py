@@ -1,0 +1,65 @@
+"""How eventual is eventual?  PBS staleness curves.
+
+Reproduces the Probabilistically Bounded Staleness analysis the
+tutorial leans on for its "eventual is usually fast AND fresh" point:
+Monte-Carlo t-visibility for Dynamo-style partial quorums under a
+LAN-like and a WAN-like latency profile.
+
+Run:  python examples/pbs_staleness.py
+"""
+
+from repro.analysis import (
+    WARSModel,
+    print_table,
+    simulate_k_staleness,
+    simulate_t_visibility,
+)
+
+
+def visibility_table(model, label, n=3):
+    rows = []
+    for r, w in [(1, 1), (1, 2), (2, 1), (2, 2), (3, 1)]:
+        cells = [f"R={r} W={w}" + (" *" if r + w > n else "")]
+        for t in (0.0, 1.0, 5.0, 20.0):
+            result = simulate_t_visibility(
+                n, r, w, t, model=model, trials=8000, seed=7,
+            )
+            cells.append(round(result.p_consistent, 4))
+        base = simulate_t_visibility(n, r, w, 0.0, model=model, trials=8000,
+                                     seed=7)
+        cells.append(round(base.mean_read_latency, 2))
+        rows.append(cells)
+    print_table(
+        ["config (N=3)", "t=0ms", "t=1ms", "t=5ms", "t=20ms",
+         "read latency"],
+        rows,
+        title=f"P[read sees latest write] — {label} (* = R+W>N)",
+    )
+
+
+def staleness_tail(n=3, r=1, w=1):
+    rows = []
+    for k in (1, 2, 3, 5):
+        p = simulate_k_staleness(n, r, w, k=k, trials=8000, seed=11)
+        rows.append([k, round(p, 5)])
+    print_table(
+        ["k", "P[at most k versions stale]"],
+        rows,
+        title=f"k-staleness at R={r} W={w} (t=0, racing writes)",
+    )
+
+
+def main() -> None:
+    print(__doc__)
+    visibility_table(WARSModel.lan(), "LAN profile")
+    visibility_table(WARSModel.wan(), "WAN profile")
+    staleness_tail()
+    print(
+        "\nThe PBS punchline, reproduced: R=W=1 is already ~fresh a few"
+        "\nmilliseconds after commit, and R+W>N never returns stale data"
+        "\n— you choose where on the curve to pay latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

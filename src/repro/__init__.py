@@ -1,0 +1,82 @@
+"""repro — an executable companion to *Rethinking Eventual Consistency*
+(Bernstein & Das, SIGMOD 2013).
+
+The package turns the tutorial's taxonomy of consistency guarantees
+and replication mechanisms into running code:
+
+* :mod:`repro.sim` — deterministic discrete-event simulator, lossy
+  partitionable network, WAN topologies, generator-based clients.
+* :mod:`repro.clocks` — Lamport / vector / version-vector / dotted /
+  hybrid logical clocks.
+* :mod:`repro.storage` — per-replica stores (LWW, siblings, sequenced,
+  multi-version).
+* :mod:`repro.crdt` — state-, op- and delta-based CRDTs.
+* :mod:`repro.replication` — primary–backup, Dynamo quorums, gossip
+  anti-entropy with Merkle trees, Paxos/Multi-Paxos, PNUTS timelines,
+  chain replication.
+* :mod:`repro.client` — session guarantees as a client library.
+* :mod:`repro.checkers` — linearizability / sequential / causal /
+  session / staleness / convergence checkers over recorded histories.
+* :mod:`repro.sla` — Pileus-style consistency SLAs.
+* :mod:`repro.txn` — 2PL+2PC, snapshot isolation, RedBlue, escrow.
+* :mod:`repro.workload`, :mod:`repro.analysis` — generators, metrics,
+  and the PBS staleness model.
+
+Quickstart::
+
+    from repro import Simulator, Network, spawn
+    from repro.replication import DynamoCluster
+
+    sim = Simulator(seed=7)
+    net = Network(sim)
+    cluster = DynamoCluster(sim, net, nodes=5, n=3, r=2, w=2)
+    client = cluster.connect()
+
+    def script():
+        yield client.put("cart", ["milk"])
+        value, _ = yield client.get("cart")
+        print(value)
+
+    spawn(sim, script())
+    sim.run()
+"""
+
+from . import (
+    analysis,
+    checkers,
+    clocks,
+    client,
+    crdt,
+    errors,
+    histories,
+    replication,
+    sim,
+    sla,
+    storage,
+    txn,
+    workload,
+)
+from .sim import Future, Network, Simulator, spawn
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "Network",
+    "Future",
+    "spawn",
+    "sim",
+    "clocks",
+    "storage",
+    "crdt",
+    "histories",
+    "checkers",
+    "replication",
+    "client",
+    "sla",
+    "txn",
+    "workload",
+    "analysis",
+    "errors",
+    "__version__",
+]

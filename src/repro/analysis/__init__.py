@@ -1,0 +1,25 @@
+"""Analysis tooling: latency stats, the PBS staleness model, tables."""
+
+from .metrics import LatencyStats, throughput
+from .pbs import (
+    PBSResult,
+    WARSModel,
+    exponential,
+    quorum_sweep,
+    simulate_k_staleness,
+    simulate_t_visibility,
+)
+from .tables import print_table, render_table
+
+__all__ = [
+    "LatencyStats",
+    "throughput",
+    "WARSModel",
+    "PBSResult",
+    "exponential",
+    "simulate_t_visibility",
+    "simulate_k_staleness",
+    "quorum_sweep",
+    "render_table",
+    "print_table",
+]

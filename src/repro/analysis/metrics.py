@@ -1,0 +1,95 @@
+"""Latency/throughput metrics for experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyStats:
+    """Streaming-ish latency collector (keeps samples; fine at sim scale)."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("latency cannot be negative")
+        self.samples.append(value)
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def stddev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((x - mu) ** 2 for x in self.samples) / (len(self.samples) - 1)
+        )
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "p50": round(self.p50, 3),
+            "p95": round(self.p95, 3),
+            "p99": round(self.p99, 3),
+            "max": round(self.maximum, 3),
+        }
+
+
+def throughput(operations: int, duration_ms: float) -> float:
+    """Ops per (simulated) second."""
+    if duration_ms <= 0:
+        return 0.0
+    return operations / (duration_ms / 1000.0)

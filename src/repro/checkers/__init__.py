@@ -1,0 +1,58 @@
+"""Consistency checkers: predicates over recorded histories.
+
+One checker per rung of the tutorial's consistency ladder —
+linearizability, sequential, causal, the four session guarantees,
+bounded staleness, and eventual convergence — so every experiment's
+consistency claims are machine-verified.
+"""
+
+from .base import Verdict, Violation
+from .causal import check_causal, check_causal_or_raise
+from .convergence import check_convergence, divergence, stale_keys
+from .linearizability import (
+    check_linearizability,
+    check_linearizability_key,
+    check_linearizability_or_raise,
+)
+from .sequential import check_sequential, check_sequential_or_raise
+from .session import (
+    ALL_SESSION_GUARANTEES,
+    check_all_session_guarantees,
+    check_monotonic_reads,
+    check_monotonic_writes,
+    check_read_your_writes,
+    check_writes_follow_reads,
+)
+from .staleness import (
+    ReadStaleness,
+    check_bounded_staleness,
+    measure_staleness,
+    stale_read_fraction,
+    staleness_distribution,
+)
+
+__all__ = [
+    "Verdict",
+    "Violation",
+    "check_linearizability",
+    "check_linearizability_key",
+    "check_linearizability_or_raise",
+    "check_sequential",
+    "check_sequential_or_raise",
+    "check_causal",
+    "check_causal_or_raise",
+    "check_read_your_writes",
+    "check_monotonic_reads",
+    "check_monotonic_writes",
+    "check_writes_follow_reads",
+    "check_all_session_guarantees",
+    "ALL_SESSION_GUARANTEES",
+    "check_convergence",
+    "divergence",
+    "stale_keys",
+    "measure_staleness",
+    "ReadStaleness",
+    "check_bounded_staleness",
+    "stale_read_fraction",
+    "staleness_distribution",
+]

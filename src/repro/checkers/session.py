@@ -1,0 +1,125 @@
+"""Session-guarantee checkers (Terry et al., Bayou).
+
+The four session guarantees are the tutorial's client-centric rungs
+between eventual and causal consistency:
+
+* **Read-your-writes** — a read sees every earlier write of its own
+  session.
+* **Monotonic reads** — successive reads never go backwards.
+* **Monotonic writes** — a session's writes are applied everywhere in
+  session order.
+* **Writes-follow-reads** — a write is ordered after the writes whose
+  effects the session had read.
+
+All four are checked against the per-key version order recorded in the
+history (see :mod:`repro.histories.events` for conventions).  All four
+together (plus per-session total order) amount to causal consistency
+for that client's observations.
+"""
+
+from __future__ import annotations
+
+from ..histories import History
+from .base import Verdict
+
+
+def check_read_your_writes(history: History) -> Verdict:
+    """Every read returns a version >= the session's own latest
+    completed write to that key."""
+    verdict = Verdict("read-your-writes")
+    for session in history.sessions:
+        highest_write: dict = {}
+        for op in history.by_session(session):
+            if op.is_write:
+                highest_write[op.key] = max(
+                    highest_write.get(op.key, 0), op.version
+                )
+            else:
+                verdict.checked_ops += 1
+                floor = highest_write.get(op.key, 0)
+                if op.version < floor:
+                    verdict.add(
+                        f"session {session!r} wrote {op.key!r} v{floor} but a "
+                        f"later read returned v{op.version}",
+                        ops=(op,),
+                    )
+    return verdict
+
+
+def check_monotonic_reads(history: History) -> Verdict:
+    """Per session and key, read versions never decrease."""
+    verdict = Verdict("monotonic-reads")
+    for session in history.sessions:
+        highest_read: dict = {}
+        for op in history.by_session(session):
+            if not op.is_read:
+                continue
+            verdict.checked_ops += 1
+            floor = highest_read.get(op.key, 0)
+            if op.version < floor:
+                verdict.add(
+                    f"session {session!r} read {op.key!r} v{floor} then "
+                    f"went back to v{op.version}",
+                    ops=(op,),
+                )
+            highest_read[op.key] = max(floor, op.version)
+    return verdict
+
+
+def check_monotonic_writes(history: History) -> Verdict:
+    """Per session and key, installed write versions increase in
+    session order (i.e. the system ordered the session's writes as
+    issued)."""
+    verdict = Verdict("monotonic-writes")
+    for session in history.sessions:
+        last_version: dict = {}
+        for op in history.by_session(session):
+            if not op.is_write:
+                continue
+            verdict.checked_ops += 1
+            previous = last_version.get(op.key)
+            if previous is not None and op.version <= previous:
+                verdict.add(
+                    f"session {session!r} writes to {op.key!r} installed "
+                    f"out of order (v{previous} then v{op.version})",
+                    ops=(op,),
+                )
+            last_version[op.key] = op.version
+    return verdict
+
+
+def check_writes_follow_reads(history: History) -> Verdict:
+    """A session's write to a key is ordered after every version of
+    that key the session had previously read."""
+    verdict = Verdict("writes-follow-reads")
+    for session in history.sessions:
+        highest_read: dict = {}
+        for op in history.by_session(session):
+            if op.is_read:
+                highest_read[op.key] = max(
+                    highest_read.get(op.key, 0), op.version
+                )
+            else:
+                verdict.checked_ops += 1
+                floor = highest_read.get(op.key, 0)
+                if op.version <= floor and floor > 0:
+                    verdict.add(
+                        f"session {session!r} read {op.key!r} v{floor} but "
+                        f"its later write was ordered at v{op.version}",
+                        ops=(op,),
+                    )
+    return verdict
+
+
+ALL_SESSION_GUARANTEES = {
+    "read-your-writes": check_read_your_writes,
+    "monotonic-reads": check_monotonic_reads,
+    "monotonic-writes": check_monotonic_writes,
+    "writes-follow-reads": check_writes_follow_reads,
+}
+
+
+def check_all_session_guarantees(history: History) -> dict[str, Verdict]:
+    """Run all four checkers; the combination approximates
+    client-observed causal consistency."""
+    return {name: check(history) for name, check in ALL_SESSION_GUARANTEES.items()}

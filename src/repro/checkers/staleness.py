@@ -1,0 +1,114 @@
+"""Staleness metrics and bounded-staleness checking.
+
+Bounded staleness is the tutorial's "quantified eventual consistency":
+a read may be stale, but by at most *k* versions (k-staleness) or *t*
+milliseconds (t-visibility / Δ-atomicity).  These functions measure
+both quantities for every read in a history and check declared bounds;
+the PBS experiment (E2) aggregates them into the staleness
+distributions the quorum sweep reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..histories import History, Operation
+from .base import Verdict
+
+
+@dataclass(frozen=True)
+class ReadStaleness:
+    """Staleness measurements for one read."""
+
+    op: Operation
+    versions_behind: int      # k-staleness: newest completed version - read version
+    time_behind: float        # how long ago the read's version was superseded (0 if fresh)
+
+    @property
+    def fresh(self) -> bool:
+        return self.versions_behind == 0
+
+
+def measure_staleness(history: History) -> list[ReadStaleness]:
+    """Per-read staleness relative to writes completed before the read
+    *started* (writes concurrent with the read never count as missed).
+    """
+    out: list[ReadStaleness] = []
+    writes_by_key: dict = {}
+    for op in history.writes():
+        if op.completed:
+            writes_by_key.setdefault(op.key, []).append(op)
+    for ops in writes_by_key.values():
+        ops.sort(key=lambda op: op.version)
+
+    for read in history.reads():
+        completed = [
+            w for w in writes_by_key.get(read.key, ()) if w.end <= read.start
+        ]
+        if not completed:
+            out.append(ReadStaleness(read, 0, 0.0))
+            continue
+        newest = completed[-1]
+        behind = sum(1 for w in completed if w.version > read.version)
+        time_behind = 0.0
+        if behind:
+            # When was the read's version first superseded?
+            superseders = [w for w in completed if w.version > read.version]
+            time_behind = max(0.0, read.start - min(w.end for w in superseders))
+        del newest
+        out.append(ReadStaleness(read, behind, time_behind))
+    return out
+
+
+def check_bounded_staleness(
+    history: History,
+    max_versions: int | None = None,
+    max_time: float | None = None,
+) -> Verdict:
+    """Check every read against a k-staleness and/or t-visibility bound."""
+    if max_versions is None and max_time is None:
+        raise ValueError("provide max_versions and/or max_time")
+    bound_bits = []
+    if max_versions is not None:
+        bound_bits.append(f"k<={max_versions}")
+    if max_time is not None:
+        bound_bits.append(f"t<={max_time}ms")
+    verdict = Verdict(f"bounded-staleness({','.join(bound_bits)})")
+    for measurement in measure_staleness(history):
+        verdict.checked_ops += 1
+        if (
+            max_versions is not None
+            and measurement.versions_behind > max_versions
+        ):
+            verdict.add(
+                f"read of {measurement.op.key!r} was "
+                f"{measurement.versions_behind} versions behind "
+                f"(bound {max_versions})",
+                ops=(measurement.op,),
+            )
+        elif max_time is not None and measurement.time_behind > max_time:
+            verdict.add(
+                f"read of {measurement.op.key!r} returned a value "
+                f"superseded {measurement.time_behind:.2f}ms earlier "
+                f"(bound {max_time}ms)",
+                ops=(measurement.op,),
+            )
+    return verdict
+
+
+def stale_read_fraction(history: History) -> float:
+    """Fraction of reads that missed at least one completed write."""
+    measurements = measure_staleness(history)
+    if not measurements:
+        return 0.0
+    return sum(1 for m in measurements if not m.fresh) / len(measurements)
+
+
+def staleness_distribution(history: History) -> dict[int, int]:
+    """Histogram: k-staleness → number of reads."""
+    histogram: dict[int, int] = {}
+    for measurement in measure_staleness(history):
+        histogram[measurement.versions_behind] = (
+            histogram.get(measurement.versions_behind, 0) + 1
+        )
+    return histogram

@@ -1,0 +1,164 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``examples``            list the runnable examples
+``run <example>``       run one example by name (e.g. ``run quickstart``)
+``pbs``                 print a quick PBS t-visibility grid
+``spectrum``            print the E1-style consistency spectrum table
+``selftest``            import every module and run a smoke simulation
+
+The heavyweight experiment tables live in ``benchmarks/`` (run with
+``pytest benchmarks/ --benchmark-only``); the CLI is for quick looks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import pathlib
+import runpy
+import sys
+
+
+def _examples_dir() -> pathlib.Path:
+    # examples/ sits next to src/ in a source checkout.
+    here = pathlib.Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "examples"
+        if candidate.is_dir():
+            return candidate
+    raise SystemExit("examples/ directory not found (installed without sources?)")
+
+
+def list_examples() -> list[str]:
+    return sorted(
+        path.stem
+        for path in _examples_dir().glob("*.py")
+        if not path.stem.startswith("_")
+    )
+
+
+def cmd_examples(_args: argparse.Namespace) -> int:
+    for name in list_examples():
+        print(name)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    name = args.example
+    path = _examples_dir() / f"{name}.py"
+    if not path.exists():
+        print(f"unknown example {name!r}; available: {', '.join(list_examples())}",
+              file=sys.stderr)
+        return 2
+    runpy.run_path(str(path), run_name="__main__")
+    return 0
+
+
+def cmd_pbs(args: argparse.Namespace) -> int:
+    from .analysis import WARSModel, print_table, simulate_t_visibility
+
+    model = WARSModel.wan() if args.wan else WARSModel.lan()
+    rows = []
+    n = args.n
+    for r in range(1, n + 1):
+        for w in range(1, n + 1):
+            result = simulate_t_visibility(
+                n, r, w, args.t, model=model, trials=args.trials,
+            )
+            rows.append([
+                f"R={r} W={w}" + (" *" if r + w > n else ""),
+                round(result.p_consistent, 4),
+                round(result.mean_read_latency, 2),
+                round(result.mean_write_latency, 2),
+            ])
+    print_table(
+        ["config", f"P[consistent @ t={args.t:g}ms]", "read ms", "write ms"],
+        rows,
+        title=f"PBS t-visibility, N={n} "
+              f"({'WAN' if args.wan else 'LAN'} profile; * = R+W>N)",
+    )
+    return 0
+
+
+def cmd_spectrum(_args: argparse.Namespace) -> int:
+    bench_dir = pathlib.Path(__file__).resolve()
+    for parent in bench_dir.parents:
+        candidate = parent / "examples" / "geo_replication.py"
+        if candidate.exists():
+            runpy.run_path(str(candidate), run_name="__main__")
+            return 0
+    print("geo_replication example not found", file=sys.stderr)
+    return 2
+
+
+def cmd_selftest(_args: argparse.Namespace) -> int:
+    import pkgutil
+
+    import repro
+
+    count = 0
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        importlib.import_module(info.name)
+        count += 1
+    print(f"imported {count} modules")
+
+    from repro import Network, Simulator, spawn
+    from repro.checkers import check_linearizability
+    from repro.replication import DynamoCluster
+
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    cluster = DynamoCluster(sim, net, nodes=5, n=3, r=2, w=2)
+    client = cluster.connect()
+    result = {}
+
+    def script():
+        yield client.put("k", "ok")
+        value, _stamp = yield client.get("k")
+        result["value"] = value
+
+    spawn(sim, script())
+    sim.run()
+    assert result["value"] == "ok"
+    assert check_linearizability(cluster.history()).ok
+    print("smoke simulation ok (write/read/check on a 5-node quorum store)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("examples", help="list runnable examples")
+
+    run_parser = sub.add_parser("run", help="run one example")
+    run_parser.add_argument("example")
+
+    pbs_parser = sub.add_parser("pbs", help="quick PBS grid")
+    pbs_parser.add_argument("--n", type=int, default=3)
+    pbs_parser.add_argument("--t", type=float, default=0.0)
+    pbs_parser.add_argument("--trials", type=int, default=4000)
+    pbs_parser.add_argument("--wan", action="store_true")
+
+    sub.add_parser("spectrum", help="print the consistency spectrum table")
+    sub.add_parser("selftest", help="import everything + smoke simulation")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "examples": cmd_examples,
+        "run": cmd_run,
+        "pbs": cmd_pbs,
+        "spectrum": cmd_spectrum,
+        "selftest": cmd_selftest,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

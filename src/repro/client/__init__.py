@@ -1,0 +1,17 @@
+"""Client-side consistency machinery: session guarantees as a library."""
+
+from .session import (
+    GUARANTEES,
+    SessionClient,
+    SessionState,
+    SessionStats,
+    timeline_session,
+)
+
+__all__ = [
+    "SessionClient",
+    "SessionState",
+    "SessionStats",
+    "GUARANTEES",
+    "timeline_session",
+]

@@ -1,0 +1,31 @@
+"""Logical clocks: the causality machinery under every protocol here.
+
+* :class:`LamportClock` — scalar happened-before witness, LWW tiebreak.
+* :class:`VectorClock` — exact causality; detects concurrency.
+* :class:`VersionVector` — per-object causality for replicated stores.
+* :class:`DottedValueSet` — dotted version vectors (Riak-style sibling
+  management without sibling explosion).
+* :class:`HybridLogicalClock` — physical-time-flavored causal stamps.
+"""
+
+from .dvv import Dot, DottedValueSet, DottedVersion
+from .hlc import HLCStamp, HybridLogicalClock
+from .lamport import LamportClock, LamportStamp
+from .vector import EMPTY_CLOCK, Ordering, VectorClock
+from .version_vector import VersionVector, joint_ceiling, reduce_siblings
+
+__all__ = [
+    "LamportClock",
+    "LamportStamp",
+    "VectorClock",
+    "Ordering",
+    "EMPTY_CLOCK",
+    "VersionVector",
+    "reduce_siblings",
+    "joint_ceiling",
+    "Dot",
+    "DottedVersion",
+    "DottedValueSet",
+    "HLCStamp",
+    "HybridLogicalClock",
+]

@@ -1,0 +1,60 @@
+"""Lamport scalar clocks (Lamport 1978).
+
+The tutorial's ordering discussion bottoms out in Lamport's
+happened-before relation; the scalar clock is its cheapest witness:
+if ``a`` happened-before ``b`` then ``L(a) < L(b)`` (but not
+conversely).  Ties are broken by node id to give the total order used
+by last-writer-wins registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Hashable
+
+
+@total_ordering
+@dataclass(frozen=True)
+class LamportStamp:
+    """A (counter, node) pair; totally ordered, counter-major."""
+
+    counter: int
+    node: Hashable
+
+    def __lt__(self, other: "LamportStamp") -> bool:
+        if not isinstance(other, LamportStamp):
+            return NotImplemented
+        return (self.counter, str(self.node)) < (other.counter, str(other.node))
+
+    def __str__(self) -> str:
+        return f"{self.counter}@{self.node}"
+
+
+class LamportClock:
+    """A per-node Lamport clock.
+
+    >>> a, b = LamportClock("a"), LamportClock("b")
+    >>> s1 = a.tick()
+    >>> s2 = b.observe(s1)   # receive: advance past the sender
+    >>> s1 < s2
+    True
+    """
+
+    def __init__(self, node: Hashable, start: int = 0) -> None:
+        self.node = node
+        self.counter = start
+
+    def tick(self) -> LamportStamp:
+        """Local event: advance and stamp."""
+        self.counter += 1
+        return LamportStamp(self.counter, self.node)
+
+    def observe(self, stamp: LamportStamp) -> LamportStamp:
+        """Message receipt: jump past the incoming stamp, then tick."""
+        self.counter = max(self.counter, stamp.counter)
+        return self.tick()
+
+    def peek(self) -> LamportStamp:
+        """Current stamp without advancing (for reads)."""
+        return LamportStamp(self.counter, self.node)

@@ -1,0 +1,93 @@
+"""Version vectors: per-object causality for replicated stores.
+
+Structurally a version vector is a vector clock, but the entries count
+*updates applied at each replica to one object*, not events at a
+process.  The distinction matters for the API: replicas ``bump`` their
+own entry on a coordinated write, and stores compare vectors to decide
+whether an incoming version supersedes, is superseded by, or conflicts
+with the local one.
+
+This module reuses :class:`~repro.clocks.vector.VectorClock` for the
+math and adds the store-facing operations, including sibling reduction
+(dropping versions dominated by another version in a set).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from .vector import Ordering, VectorClock
+
+
+class VersionVector(VectorClock):
+    """A vector clock counting updates per replica for one object."""
+
+    __slots__ = ()
+
+    def bump(self, replica: Hashable) -> "VersionVector":
+        """Record one more update coordinated by ``replica``."""
+        return VersionVector(self.tick(replica).entries())
+
+    def descends_from(self, other: "VersionVector") -> bool:
+        """True when this vector has seen everything ``other`` has.
+
+        ``v.descends_from(w)`` means a value at ``v`` may safely
+        overwrite one at ``w`` — no update is lost.
+        """
+        return self.dominates(other)
+
+    def merge(self, other: VectorClock) -> "VersionVector":  # type: ignore[override]
+        return VersionVector(super().merge(other).entries())
+
+    def __repr__(self) -> str:
+        return "VV" + super().__repr__()[2:]
+
+
+def reduce_siblings(
+    versions: Iterable[tuple[VersionVector, object]],
+) -> list[tuple[VersionVector, object]]:
+    """Drop versions whose vector is dominated by another's.
+
+    Input is ``(vector, value)`` pairs; the result keeps one
+    representative per distinct maximal vector (later entries win among
+    exact-equal vectors, matching overwrite semantics) and preserves
+    first-seen order of the survivors.
+    """
+    items = list(versions)
+    survivors: list[tuple[VersionVector, object]] = []
+    for vector, value in items:
+        dominated = False
+        replaced_index: int | None = None
+        for index, (kept_vector, _kept_value) in enumerate(survivors):
+            cmp = vector.compare(kept_vector)
+            if cmp is Ordering.BEFORE:
+                dominated = True
+                break
+            if cmp in (Ordering.AFTER, Ordering.EQUAL):
+                replaced_index = index
+                break
+        if dominated:
+            continue
+        if replaced_index is not None:
+            # The new version supersedes (or equals) a survivor; it may
+            # also supersede others, so sweep the rest too.
+            survivors[replaced_index] = (vector, value)
+            survivors = [
+                kept
+                for i, kept in enumerate(survivors)
+                if i == replaced_index
+                or not vector.strictly_dominates(kept[0])
+            ]
+        else:
+            survivors.append((vector, value))
+    return survivors
+
+
+def joint_ceiling(vectors: Iterable[Mapping[Hashable, int]]) -> VersionVector:
+    """Pointwise max over many vectors — the least vector dominating all."""
+    out = VersionVector()
+    for vector in vectors:
+        out = out.merge(
+            vector if isinstance(vector, VectorClock) else VectorClock(vector)
+        )
+    return out

@@ -1,0 +1,43 @@
+"""Conflict-free replicated data types.
+
+State-based: :class:`GCounter`, :class:`PNCounter`,
+:class:`LWWRegister`, :class:`MVRegister`, :class:`GSet`,
+:class:`TwoPSet`, :class:`ORSet`, :class:`LWWElementSet`,
+:class:`LWWMap`, :class:`ORMap`, :class:`RGA`.
+
+Op-based (with causal delivery): :class:`OpCounter`, :class:`OpORSet`,
+:class:`CausalBuffer`.
+
+Delta-state: :class:`DeltaGCounter`, :class:`DeltaORSet`.
+"""
+
+from .base import StateCRDT
+from .counters import GCounter, PNCounter
+from .delta import DeltaGCounter, DeltaORSet
+from .maps import LWWMap, ORMap
+from .opbased import CausalBuffer, OpCounter, OpEnvelope, OpORSet
+from .registers import LWWRegister, MVRegister
+from .rga import RGA, RGANode
+from .sets import GSet, LWWElementSet, ORSet, TwoPSet
+
+__all__ = [
+    "StateCRDT",
+    "GCounter",
+    "PNCounter",
+    "LWWRegister",
+    "MVRegister",
+    "GSet",
+    "TwoPSet",
+    "ORSet",
+    "LWWElementSet",
+    "LWWMap",
+    "ORMap",
+    "RGA",
+    "RGANode",
+    "OpCounter",
+    "OpORSet",
+    "OpEnvelope",
+    "CausalBuffer",
+    "DeltaGCounter",
+    "DeltaORSet",
+]

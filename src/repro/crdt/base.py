@@ -1,0 +1,74 @@
+"""CRDT base machinery.
+
+The tutorial's answer to "how do replicas converge without
+coordination?" is convergent/commutative replicated data types.  This
+package implements both flavors:
+
+* **State-based (CvRDT)** — replicas ship their whole state (or deltas)
+  and :meth:`StateCRDT.merge` joins them.  Correctness requires merge
+  to be a join-semilattice: commutative, associative, idempotent, and
+  every mutation must be an inflation (move up the lattice).  The
+  property tests in ``tests/test_crdt_laws.py`` check exactly these
+  laws on every type here.
+
+* **Op-based (CmRDT)** — replicas ship operations; concurrent
+  operations must commute, and delivery must respect causality (see
+  :mod:`repro.crdt.opbased` for the causal-broadcast buffer).
+
+State CRDTs here are mutable objects bound to a ``replica_id``;
+``merge`` folds another replica's state in place (and returns ``self``
+for chaining).  ``state()``/``from_state()`` give a plain-data wire
+form used for size accounting in the bandwidth experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+import copy as _copy
+from typing import Any, Hashable
+
+
+class StateCRDT(abc.ABC):
+    """Abstract state-based CRDT."""
+
+    replica_id: Hashable
+
+    @property
+    @abc.abstractmethod
+    def value(self) -> Any:
+        """The query result an application sees."""
+
+    @abc.abstractmethod
+    def merge(self, other: "StateCRDT") -> "StateCRDT":
+        """Join ``other``'s state into ours.  Must be a semilattice join."""
+
+    @abc.abstractmethod
+    def state(self) -> Any:
+        """Plain-data (dict/list/tuple) wire representation."""
+
+    def copy(self) -> "StateCRDT":
+        """An independent deep copy (same replica id)."""
+        return _copy.deepcopy(self)
+
+    def _require_same_type(self, other: "StateCRDT") -> None:
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} @{self.replica_id} value={self.value!r}>"
+
+
+class Tag:
+    """Unique operation tags ``(replica, counter)`` for OR-Sets.
+
+    Tags must be globally unique; per-replica counters guarantee this
+    without coordination.
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def fresh(replica: Hashable, counter: int) -> tuple[Hashable, int]:
+        return (replica, counter)

@@ -1,0 +1,95 @@
+"""Counter CRDTs: G-Counter and PN-Counter.
+
+The counter is the tutorial's canonical "commutative update" example:
+increments from different replicas commute, so no coordination is
+needed — the CRDT just has to avoid double-counting when states meet
+repeatedly, which per-replica entries + pointwise max achieve.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .base import StateCRDT
+
+
+class GCounter(StateCRDT):
+    """Grow-only counter.
+
+    >>> a, b = GCounter("a"), GCounter("b")
+    >>> a.increment(3); b.increment(2)
+    >>> _ = a.merge(b)
+    >>> a.value
+    5
+    """
+
+    def __init__(self, replica_id: Hashable) -> None:
+        self.replica_id = replica_id
+        self._counts: dict[Hashable, int] = {}
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be positive) to this replica's entry."""
+        if amount <= 0:
+            raise ValueError("GCounter can only grow; use PNCounter to decrement")
+        self._counts[self.replica_id] = self._counts.get(self.replica_id, 0) + amount
+
+    @property
+    def value(self) -> int:
+        return sum(self._counts.values())
+
+    def merge(self, other: "GCounter") -> "GCounter":
+        self._require_same_type(other)
+        for replica, count in other._counts.items():
+            if count > self._counts.get(replica, 0):
+                self._counts[replica] = count
+        return self
+
+    def state(self) -> dict:
+        return dict(self._counts)
+
+    @classmethod
+    def from_state(cls, replica_id: Hashable, state: dict) -> "GCounter":
+        counter = cls(replica_id)
+        counter._counts = dict(state)
+        return counter
+
+
+class PNCounter(StateCRDT):
+    """Increment/decrement counter: two G-Counters (P and N).
+
+    >>> a = PNCounter("a")
+    >>> a.increment(10); a.decrement(4)
+    >>> a.value
+    6
+    """
+
+    def __init__(self, replica_id: Hashable) -> None:
+        self.replica_id = replica_id
+        self._p = GCounter(replica_id)
+        self._n = GCounter(replica_id)
+
+    def increment(self, amount: int = 1) -> None:
+        self._p.increment(amount)
+
+    def decrement(self, amount: int = 1) -> None:
+        self._n.increment(amount)
+
+    @property
+    def value(self) -> int:
+        return self._p.value - self._n.value
+
+    def merge(self, other: "PNCounter") -> "PNCounter":
+        self._require_same_type(other)
+        self._p.merge(other._p)
+        self._n.merge(other._n)
+        return self
+
+    def state(self) -> dict:
+        return {"p": self._p.state(), "n": self._n.state()}
+
+    @classmethod
+    def from_state(cls, replica_id: Hashable, state: dict) -> "PNCounter":
+        counter = cls(replica_id)
+        counter._p = GCounter.from_state(replica_id, state["p"])
+        counter._n = GCounter.from_state(replica_id, state["n"])
+        return counter

@@ -1,0 +1,142 @@
+"""Delta-state CRDTs: ship small deltas, join like full states.
+
+Full-state shipping costs O(state) bandwidth per sync; op-based
+shipping needs causal broadcast.  Delta CRDTs are the middle point the
+tutorial's mechanism axis ends on: every mutation also produces a
+**delta** — a small state fragment in the same lattice — and the
+receiver joins it with its ordinary merge.  Deltas are idempotent and
+re-orderable (unlike ops), so they tolerate the same sloppy delivery
+as full states at a fraction of the bytes; E6's bandwidth ablation
+measures exactly that gap.
+
+Both types here expose the classic interface: mutators return the
+delta, ``merge`` accepts either a full peer or a delta (they are the
+same kind of object), and ``split()`` drains the accumulated delta
+group for batched gossip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from .counters import GCounter
+from .sets import ORSet
+
+
+class DeltaGCounter(GCounter):
+    """G-Counter whose increments also yield mergeable deltas.
+
+    >>> a, b = DeltaGCounter("a"), DeltaGCounter("b")
+    >>> delta = a.increment(5)
+    >>> _ = b.merge(delta)           # ship just the delta
+    >>> b.value
+    5
+    """
+
+    def __init__(self, replica_id: Hashable) -> None:
+        super().__init__(replica_id)
+        self._delta_group: dict[Hashable, int] = {}
+
+    def increment(self, amount: int = 1) -> "DeltaGCounter":  # type: ignore[override]
+        super().increment(amount)
+        mine = self._counts[self.replica_id]
+        self._delta_group[self.replica_id] = mine
+        delta = DeltaGCounter(self.replica_id)
+        delta._counts = {self.replica_id: mine}
+        return delta
+
+    def split(self) -> "DeltaGCounter | None":
+        """Drain the accumulated delta group (None when empty)."""
+        if not self._delta_group:
+            return None
+        delta = DeltaGCounter(self.replica_id)
+        delta._counts = dict(self._delta_group)
+        self._delta_group = {}
+        return delta
+
+    def merge(self, other: GCounter) -> "DeltaGCounter":  # type: ignore[override]
+        # Accept any GCounter-shaped state (full or delta).
+        if not isinstance(other, GCounter):
+            raise TypeError(f"cannot merge {type(other).__name__}")
+        for replica, count in other._counts.items():
+            if count > self._counts.get(replica, 0):
+                self._counts[replica] = count
+                # Anything that changed us is worth forwarding.
+                if count > self._delta_group.get(replica, 0):
+                    self._delta_group[replica] = count
+        return self
+
+
+class DeltaORSet(ORSet):
+    """OR-Set with delta mutators.
+
+    Deltas carry only the touched element's tags/tombstones; merging a
+    delta is the normal OR-Set join.
+
+    >>> a, b = DeltaORSet("a"), DeltaORSet("b")
+    >>> d1 = a.add("x")
+    >>> _ = b.merge(d1)
+    >>> "x" in b
+    True
+    >>> d2 = b.remove("x")
+    >>> _ = a.merge(d2)
+    >>> "x" in a
+    False
+    """
+
+    def __init__(self, replica_id: Hashable) -> None:
+        super().__init__(replica_id)
+        self._delta: DeltaORSet | None = None
+
+    def _delta_sink(self) -> "DeltaORSet":
+        if self._delta is None:
+            self._delta = DeltaORSet(self.replica_id)
+        return self._delta
+
+    def add(self, item: Any) -> "DeltaORSet":  # type: ignore[override]
+        super().add(item)
+        tag = (self.replica_id, self._counter)
+        delta = DeltaORSet(self.replica_id)
+        delta._tags = {item: {tag}}
+        sink = self._delta_sink()
+        sink._tags.setdefault(item, set()).add(tag)
+        return delta
+
+    def remove(self, item: Any) -> "DeltaORSet":  # type: ignore[override]
+        observed = set(self.live_tags(item))
+        super().remove(item)
+        delta = DeltaORSet(self.replica_id)
+        if observed:
+            delta._tags = {item: set(observed)}
+            delta._tombstones = {item: set(observed)}
+            sink = self._delta_sink()
+            sink._tags.setdefault(item, set()).update(observed)
+            sink._tombstones.setdefault(item, set()).update(observed)
+        return delta
+
+    def split(self) -> "DeltaORSet | None":
+        """Drain the accumulated delta group (None when empty)."""
+        delta, self._delta = self._delta, None
+        return delta
+
+    def merge(self, other: ORSet) -> "DeltaORSet":  # type: ignore[override]
+        if not isinstance(other, ORSet):
+            raise TypeError(f"cannot merge {type(other).__name__}")
+        sink = self._delta_sink()
+        for item, tags in other._tags.items():
+            new = tags - self._tags.get(item, set())
+            if new:
+                sink._tags.setdefault(item, set()).update(new)
+            self._tags.setdefault(item, set()).update(tags)
+            for replica, count in tags:
+                if replica == self.replica_id and count > self._counter:
+                    self._counter = count
+        for item, dead in other._tombstones.items():
+            new = dead - self._tombstones.get(item, set())
+            if new:
+                sink._tombstones.setdefault(item, set()).update(new)
+                sink._tags.setdefault(item, set()).update(new)
+            self._tombstones.setdefault(item, set()).update(dead)
+        if not sink._tags and not sink._tombstones:
+            self._delta = None
+        return self

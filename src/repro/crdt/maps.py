@@ -1,0 +1,168 @@
+"""Map CRDTs: LWW-Map and OR-Map (CRDT-valued, add-wins keys).
+
+Maps are where CRDT *composition* shows up: the OR-Map nests any
+state CRDT as its values, merging them pointwise, while key liveness
+follows OR-Set (add-wins) semantics — a concurrent update keeps a key
+alive across a remove, and the surviving value is the merge of
+everything not superseded by the remove.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterator
+
+from .base import StateCRDT
+from .sets import ORSet
+
+
+class LWWMap(StateCRDT):
+    """Map with last-writer-wins per key (including deletes).
+
+    Stamps are ``(counter, replica)`` with the counter advanced past
+    everything observed via merge, so local read-modify-write wins.
+    """
+
+    def __init__(self, replica_id: Hashable) -> None:
+        self.replica_id = replica_id
+        self._seen = 0
+        # key -> (stamp, value, deleted)
+        self._entries: dict[Any, tuple[tuple[int, str], Any, bool]] = {}
+
+    def _next_stamp(self) -> tuple[int, str]:
+        self._seen += 1
+        return (self._seen, str(self.replica_id))
+
+    def put(self, key: Any, value: Any) -> None:
+        self._entries[key] = (self._next_stamp(), value, False)
+
+    def delete(self, key: Any) -> None:
+        self._entries[key] = (self._next_stamp(), None, True)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        entry = self._entries.get(key)
+        if entry is None or entry[2]:
+            return default
+        return entry[1]
+
+    def __contains__(self, key: Any) -> bool:
+        entry = self._entries.get(key)
+        return entry is not None and not entry[2]
+
+    def __iter__(self) -> Iterator:
+        return (k for k, (_s, _v, deleted) in self._entries.items() if not deleted)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    @property
+    def value(self) -> dict:
+        return {
+            k: v for k, (_s, v, deleted) in self._entries.items() if not deleted
+        }
+
+    def merge(self, other: "LWWMap") -> "LWWMap":
+        self._require_same_type(other)
+        for key, entry in other._entries.items():
+            self._seen = max(self._seen, entry[0][0])
+            mine = self._entries.get(key)
+            if mine is None or entry[0] > mine[0]:
+                self._entries[key] = entry
+        return self
+
+    def state(self) -> dict:
+        return {repr(k): (s, v, d) for k, (s, v, d) in self._entries.items()}
+
+
+class ORMap(StateCRDT):
+    """Add-wins map whose values are themselves state CRDTs.
+
+    Parameters
+    ----------
+    replica_id:
+        This replica's id, also passed to value CRDTs it creates.
+    value_factory:
+        ``value_factory(replica_id)`` builds an empty value CRDT, e.g.
+        ``ORMap("r1", PNCounter)`` or ``ORMap("r1", lambda r: ORSet(r))``.
+
+    ``update(key, fn)`` applies a mutation to the key's value CRDT,
+    creating it (and marking the key live) if needed.  ``remove``
+    tombstones the key's observed liveness tags; a concurrent update
+    keeps the key alive (add-wins) and the surviving value is the full
+    merged value state.  Value state is retained even for dead keys —
+    resetting it would let a replica's contribution regress below what
+    other replicas already merged, losing updates (the classic ORMap
+    garbage-collection trap), so we trade memory for correctness as
+    production CRDT stores do.
+    """
+
+    def __init__(
+        self,
+        replica_id: Hashable,
+        value_factory: Callable[[Hashable], StateCRDT],
+    ) -> None:
+        self.replica_id = replica_id
+        self.value_factory = value_factory
+        self._keys = ORSet(replica_id)
+        self._values: dict[Any, StateCRDT] = {}
+
+    def update(self, key: Any, mutate: Callable[[StateCRDT], None]) -> None:
+        """Mutate ``key``'s value CRDT, asserting key liveness."""
+        self._keys.add(key)
+        if key not in self._values:
+            self._values[key] = self.value_factory(self.replica_id)
+        mutate(self._values[key])
+
+    def get(self, key: Any) -> StateCRDT | None:
+        """The live value CRDT for ``key`` (None when key is absent)."""
+        if key in self._keys:
+            return self._values.get(key)
+        return None
+
+    def remove(self, key: Any) -> None:
+        """Remove ``key`` — observed-remove: concurrent updates survive.
+
+        Only liveness is retracted; the value state stays (see class
+        docstring for why resetting it would lose updates).
+        """
+        self._keys.remove(key)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._keys
+
+    def keys(self) -> frozenset:
+        return self._keys.value
+
+    def __iter__(self) -> Iterator:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def value(self) -> dict:
+        return {
+            key: self._values[key].value
+            for key in self.keys()
+            if key in self._values
+        }
+
+    def merge(self, other: "ORMap") -> "ORMap":
+        self._require_same_type(other)
+        self._keys.merge(other._keys)
+        for key, remote_value in other._values.items():
+            mine = self._values.get(key)
+            if mine is None:
+                # Adopt via an empty local-replica CRDT + merge rather
+                # than copying: a copy would keep the remote replica id
+                # and make future local mutations write into the remote
+                # replica's entries, breaking per-replica uniqueness.
+                mine = self.value_factory(self.replica_id)
+                self._values[key] = mine
+            mine.merge(remote_value)
+        return self
+
+    def state(self) -> dict:
+        return {
+            "keys": self._keys.state(),
+            "values": {repr(k): v.state() for k, v in self._values.items()},
+        }

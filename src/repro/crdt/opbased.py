@@ -1,0 +1,188 @@
+"""Op-based (commutative) CRDTs and the causal delivery they require.
+
+Where state-based CRDTs ship whole states and need only eventual
+pairwise contact, op-based CRDTs ship small operations but demand a
+**reliable causal broadcast**: every op delivered exactly once, after
+the ops that causally precede it.  :class:`CausalBuffer` implements
+that delivery discipline with vector clocks (dedup + causal hold-back
+queue), and the two op-based types here — counter and OR-Set — show
+the two levels of ordering need:
+
+* counter ops commute unconditionally (causal order unnecessary),
+* OR-Set ``remove`` must not arrive before the ``add`` it observed —
+  the canonical example of why op-based CRDTs need causal delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from ..clocks import VectorClock
+
+
+@dataclass(frozen=True)
+class OpEnvelope:
+    """A broadcast operation, stamped for causal delivery.
+
+    ``clock`` is the sender's vector clock *after* ticking for this op,
+    so the op's own slot is ``clock[origin]``.
+    """
+
+    origin: Hashable
+    clock: VectorClock
+    payload: Any
+
+
+class CausalBuffer:
+    """Per-replica causal delivery: dedup, order, hold back early ops.
+
+    ``deliver`` is called with every received envelope (duplicates and
+    reordering allowed); ``apply`` fires exactly once per op, in causal
+    order.
+    """
+
+    def __init__(self, replica_id: Hashable, apply: Callable[[OpEnvelope], None]):
+        self.replica_id = replica_id
+        self.apply = apply
+        self.clock = VectorClock()
+        self._pending: list[OpEnvelope] = []
+        self.delivered = 0
+        self.duplicates = 0
+        self.held_back = 0
+
+    def stamp_local(self, payload: Any) -> OpEnvelope:
+        """Stamp (and locally apply) an op originated at this replica."""
+        self.clock = self.clock.tick(self.replica_id)
+        envelope = OpEnvelope(self.replica_id, self.clock, payload)
+        self.apply(envelope)
+        self.delivered += 1
+        return envelope
+
+    def receive(self, envelope: OpEnvelope) -> None:
+        """Accept a (possibly duplicate / early) envelope from the network."""
+        if self._already_seen(envelope):
+            self.duplicates += 1
+            return
+        if self._deliverable(envelope):
+            self._deliver(envelope)
+            self._drain()
+        else:
+            self.held_back += 1
+            self._pending.append(envelope)
+
+    def _already_seen(self, envelope: OpEnvelope) -> bool:
+        return self.clock[envelope.origin] >= envelope.clock[envelope.origin]
+
+    def _deliverable(self, envelope: OpEnvelope) -> bool:
+        """Next-in-sequence from its origin, and all its causal
+        dependencies already delivered."""
+        if envelope.clock[envelope.origin] != self.clock[envelope.origin] + 1:
+            return False
+        return all(
+            envelope.clock[node] <= self.clock[node]
+            for node in envelope.clock
+            if node != envelope.origin
+        )
+
+    def _deliver(self, envelope: OpEnvelope) -> None:
+        self.clock = self.clock.merge(envelope.clock)
+        self.apply(envelope)
+        self.delivered += 1
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for envelope in list(self._pending):
+                if self._already_seen(envelope):
+                    self._pending.remove(envelope)
+                    self.duplicates += 1
+                    progressed = True
+                elif self._deliverable(envelope):
+                    self._pending.remove(envelope)
+                    self._deliver(envelope)
+                    progressed = True
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+
+class OpCounter:
+    """Op-based PN-counter.  Ops: ``("add", amount)``.
+
+    Increments and decrements commute, so this type is correct even
+    under plain reliable delivery; we still run it through
+    :class:`CausalBuffer` for exactly-once.
+    """
+
+    def __init__(self, replica_id: Hashable) -> None:
+        self.replica_id = replica_id
+        self.buffer = CausalBuffer(replica_id, self._apply)
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> OpEnvelope:
+        return self.buffer.stamp_local(("add", amount))
+
+    def decrement(self, amount: int = 1) -> OpEnvelope:
+        return self.buffer.stamp_local(("add", -amount))
+
+    def receive(self, envelope: OpEnvelope) -> None:
+        self.buffer.receive(envelope)
+
+    def _apply(self, envelope: OpEnvelope) -> None:
+        _op, amount = envelope.payload
+        self.value += amount
+
+
+class OpORSet:
+    """Op-based observed-remove set.
+
+    Ops carry unique tags: ``("add", element, tag)`` and
+    ``("remove", element, frozenset_of_tags)``.  With causal delivery a
+    remove always follows the adds it observed, so applying ops in
+    delivery order is enough; concurrent adds survive (add-wins).
+    """
+
+    def __init__(self, replica_id: Hashable) -> None:
+        self.replica_id = replica_id
+        self.buffer = CausalBuffer(replica_id, self._apply)
+        self._tags: dict[Any, set] = {}
+        self._op_counter = 0
+
+    # -- local operations ------------------------------------------------
+    def add(self, element: Any) -> OpEnvelope:
+        self._op_counter += 1
+        tag = (self.replica_id, self._op_counter)
+        return self.buffer.stamp_local(("add", element, tag))
+
+    def remove(self, element: Any) -> OpEnvelope:
+        observed = frozenset(self._tags.get(element, ()))
+        return self.buffer.stamp_local(("remove", element, observed))
+
+    def receive(self, envelope: OpEnvelope) -> None:
+        self.buffer.receive(envelope)
+
+    # -- op application ---------------------------------------------------
+    def _apply(self, envelope: OpEnvelope) -> None:
+        kind, element, detail = envelope.payload
+        if kind == "add":
+            self._tags.setdefault(element, set()).add(detail)
+        else:
+            live = self._tags.get(element)
+            if live is not None:
+                live -= detail
+                if not live:
+                    del self._tags[element]
+
+    # -- queries -----------------------------------------------------------
+    def __contains__(self, element: Any) -> bool:
+        return element in self._tags
+
+    @property
+    def value(self) -> frozenset:
+        return frozenset(self._tags)
+
+    def __len__(self) -> int:
+        return len(self._tags)

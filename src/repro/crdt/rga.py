@@ -1,0 +1,176 @@
+"""RGA — Replicated Growable Array (sequence CRDT).
+
+The sequence CRDT behind collaborative text/list editing.  Every
+insert creates an immutable node with a globally unique, totally
+ordered id; a node is inserted *after* a parent node (or the virtual
+head).  Concurrent inserts after the same parent are ordered
+newest-id-first, which keeps runs of characters typed by one replica
+contiguous.  Deletes tombstone nodes; merge is a union of nodes and
+tombstones — trivially a semilattice because nodes are immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator
+
+from .base import StateCRDT
+
+#: Node ids are ``(counter, replica)`` so they order counter-major,
+#: with the replica name breaking ties deterministically.
+NodeId = tuple[int, str]
+
+HEAD: NodeId = (0, "")
+
+
+@dataclass(frozen=True)
+class RGANode:
+    """One immutable element of the sequence."""
+
+    node_id: NodeId
+    parent: NodeId
+    value: Any
+
+
+class RGA(StateCRDT):
+    """Replicated growable array.
+
+    >>> a, b = RGA("a"), RGA("b")
+    >>> _ = a.append("h"); _ = a.append("i")
+    >>> _ = b.merge(a.copy())
+    >>> _ = b.insert(1, "!")      # b edits the middle
+    >>> _ = a.append("?")         # a concurrently appends
+    >>> _ = a.merge(b); _ = b.merge(a.copy())
+    >>> "".join(a.to_list()) == "".join(b.to_list())
+    True
+    """
+
+    def __init__(self, replica_id: Hashable) -> None:
+        self.replica_id = replica_id
+        self._counter = 0
+        self._nodes: dict[NodeId, RGANode] = {}
+        self._children: dict[NodeId, list[NodeId]] = {}
+        self._tombstones: set[NodeId] = set()
+        self._order_cache: list[NodeId] | None = None
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+    def _ordered_ids(self) -> list[NodeId]:
+        """Depth-first walk: children of each parent newest-first."""
+        if self._order_cache is not None:
+            return self._order_cache
+        out: list[NodeId] = []
+        # Children must be visited newest-id-first; pushing them onto a
+        # stack in ascending order makes pop() yield the newest.
+        stack = sorted(self._children.get(HEAD, ()))
+        while stack:
+            node_id = stack.pop()  # pops the newest among remaining
+            out.append(node_id)
+            for child in sorted(self._children.get(node_id, ())):
+                stack.append(child)
+        self._order_cache = out
+        return out
+
+    def _visible_ids(self) -> list[NodeId]:
+        return [nid for nid in self._ordered_ids() if nid not in self._tombstones]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _fresh_id(self) -> NodeId:
+        self._counter += 1
+        return (self._counter, str(self.replica_id))
+
+    def insert(self, index: int, value: Any) -> NodeId:
+        """Insert ``value`` at visible position ``index``."""
+        visible = self._visible_ids()
+        if not 0 <= index <= len(visible):
+            raise IndexError(f"insert index {index} out of range")
+        parent = HEAD if index == 0 else visible[index - 1]
+        node_id = self._fresh_id()
+        self._install(RGANode(node_id, parent, value))
+        return node_id
+
+    def append(self, value: Any) -> NodeId:
+        return self.insert(len(self), value)
+
+    def insert_after(self, parent: "NodeId | None", value: Any) -> NodeId:
+        """Insert after a specific node id (``None`` = document head).
+
+        This is cursor semantics: an editor typing a run of characters
+        parents each one on its predecessor, which is what keeps the
+        run contiguous across merges (index-based ``insert`` would
+        re-resolve the position against concurrently merged content).
+        """
+        parent = HEAD if parent is None else parent
+        if parent != HEAD and parent not in self._nodes:
+            raise KeyError(f"unknown parent node {parent!r}")
+        node_id = self._fresh_id()
+        self._install(RGANode(node_id, parent, value))
+        return node_id
+
+    def delete(self, index: int) -> NodeId:
+        """Tombstone the element at visible position ``index``."""
+        visible = self._visible_ids()
+        if not 0 <= index < len(visible):
+            raise IndexError(f"delete index {index} out of range")
+        node_id = visible[index]
+        self._tombstones.add(node_id)
+        return node_id
+
+    def _install(self, node: RGANode) -> None:
+        if node.node_id in self._nodes:
+            return
+        self._nodes[node.node_id] = node
+        self._children.setdefault(node.parent, []).append(node.node_id)
+        counter, _replica = node.node_id
+        # Lamport rule: new local ids must exceed every id seen, so an
+        # insert made after observing a node sorts in front of it among
+        # siblings (RGA's "newer edits first" invariant).
+        if counter > self._counter:
+            self._counter = counter
+        self._order_cache = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def to_list(self) -> list:
+        return [self._nodes[nid].value for nid in self._visible_ids()]
+
+    @property
+    def value(self) -> list:
+        return self.to_list()
+
+    def __len__(self) -> int:
+        return len(self._visible_ids())
+
+    def __getitem__(self, index: int) -> Any:
+        return self._nodes[self._visible_ids()[index]].value
+
+    def __iter__(self) -> Iterator:
+        return iter(self.to_list())
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def merge(self, other: "RGA") -> "RGA":
+        self._require_same_type(other)
+        for node in other._nodes.values():
+            self._install(node)
+        if other._tombstones - self._tombstones:
+            self._tombstones |= other._tombstones
+        self._order_cache = None
+        return self
+
+    def state(self) -> dict:
+        return {
+            "nodes": [
+                (n.node_id, n.parent, n.value) for n in self._nodes.values()
+            ],
+            "tombstones": sorted(self._tombstones),
+        }
+
+    @property
+    def tombstone_count(self) -> int:
+        return len(self._tombstones)

@@ -1,0 +1,244 @@
+"""Set CRDTs: G-Set, 2P-Set, OR-Set, LWW-Element-Set.
+
+Sets expose the add/remove conflict the tutorial uses to show why
+"merge" needs application semantics: what should ``{add(x) ∥
+remove(x)}`` converge to?  Each type here answers differently —
+G-Set forbids removal, 2P-Set makes removal permanent, OR-Set is
+add-wins (an add not yet seen by the remove survives), and the
+LWW-Element-Set arbitrates by timestamp with a configurable bias.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+from .base import StateCRDT
+
+
+class GSet(StateCRDT):
+    """Grow-only set: merge is union; removal is impossible."""
+
+    def __init__(self, replica_id: Hashable) -> None:
+        self.replica_id = replica_id
+        self._items: set = set()
+
+    def add(self, item: Any) -> None:
+        self._items.add(item)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def value(self) -> frozenset:
+        return frozenset(self._items)
+
+    def merge(self, other: "GSet") -> "GSet":
+        self._require_same_type(other)
+        self._items |= other._items
+        return self
+
+    def state(self) -> list:
+        return sorted(self._items, key=repr)
+
+
+class TwoPSet(StateCRDT):
+    """Two-phase set: removal is a permanent tombstone.
+
+    An element can be added and removed once; re-adding a removed
+    element has no effect (the tombstone wins forever).  Cheap, but the
+    wrong tool when elements recur — that's what OR-Set fixes.
+    """
+
+    def __init__(self, replica_id: Hashable) -> None:
+        self.replica_id = replica_id
+        self._added: set = set()
+        self._removed: set = set()
+
+    def add(self, item: Any) -> None:
+        self._added.add(item)
+
+    def remove(self, item: Any) -> None:
+        """Tombstone ``item``.  Removing a never-added element is legal
+        (it just pre-blocks any future add)."""
+        self._removed.add(item)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._added and item not in self._removed
+
+    def __iter__(self) -> Iterator:
+        return iter(self.value)
+
+    def __len__(self) -> int:
+        return len(self._added - self._removed)
+
+    @property
+    def value(self) -> frozenset:
+        return frozenset(self._added - self._removed)
+
+    def merge(self, other: "TwoPSet") -> "TwoPSet":
+        self._require_same_type(other)
+        self._added |= other._added
+        self._removed |= other._removed
+        return self
+
+    def state(self) -> dict:
+        return {
+            "added": sorted(self._added, key=repr),
+            "removed": sorted(self._removed, key=repr),
+        }
+
+
+class ORSet(StateCRDT):
+    """Observed-remove set (add-wins).
+
+    Every add creates a unique tag; remove tombstones exactly the tags
+    it has *observed*.  A concurrent add's tag is not observed by the
+    remove, so the element survives — "add wins".
+
+    >>> a, b = ORSet("a"), ORSet("b")
+    >>> a.add("x")
+    >>> _ = b.merge(a.copy())
+    >>> b.remove("x")      # b removes the add it saw
+    >>> a.add("x")         # concurrent re-add at a
+    >>> _ = a.merge(b); _ = b.merge(a.copy())
+    >>> ("x" in a, "x" in b)
+    (True, True)
+    """
+
+    def __init__(self, replica_id: Hashable) -> None:
+        self.replica_id = replica_id
+        self._counter = 0
+        self._tags: dict[Any, set[tuple]] = {}      # element -> live+dead tags
+        self._tombstones: dict[Any, set[tuple]] = {}  # element -> dead tags
+
+    def _fresh_tag(self) -> tuple:
+        self._counter += 1
+        return (self.replica_id, self._counter)
+
+    def add(self, item: Any) -> None:
+        self._tags.setdefault(item, set()).add(self._fresh_tag())
+
+    def remove(self, item: Any) -> None:
+        """Tombstone every tag of ``item`` observed at this replica."""
+        live = self.live_tags(item)
+        if live:
+            self._tombstones.setdefault(item, set()).update(live)
+
+    def live_tags(self, item: Any) -> set[tuple]:
+        return self._tags.get(item, set()) - self._tombstones.get(item, set())
+
+    def __contains__(self, item: Any) -> bool:
+        return bool(self.live_tags(item))
+
+    def __iter__(self) -> Iterator:
+        return iter(self.value)
+
+    def __len__(self) -> int:
+        return sum(1 for item in self._tags if self.live_tags(item))
+
+    @property
+    def value(self) -> frozenset:
+        return frozenset(item for item in self._tags if self.live_tags(item))
+
+    def merge(self, other: "ORSet") -> "ORSet":
+        self._require_same_type(other)
+        for item, tags in other._tags.items():
+            self._tags.setdefault(item, set()).update(tags)
+        for item, dead in other._tombstones.items():
+            self._tombstones.setdefault(item, set()).update(dead)
+        # Keep our tag counter ahead of every tag we have seen from
+        # ourselves, so tags stay unique even after state restore.
+        for tags in other._tags.values():
+            for replica, count in tags:
+                if replica == self.replica_id and count > self._counter:
+                    self._counter = count
+        return self
+
+    def state(self) -> dict:
+        return {
+            "tags": {repr(k): sorted(v) for k, v in self._tags.items()},
+            "tombstones": {
+                repr(k): sorted(v) for k, v in self._tombstones.items()
+            },
+        }
+
+
+class LWWElementSet(StateCRDT):
+    """Set arbitrated per element by (timestamp, replica) pairs.
+
+    ``bias`` chooses the winner when add and remove carry the same
+    stamp: ``"add"`` (default) or ``"remove"``.  Timestamps come from an
+    internal per-instance Lamport counter advanced on merge, so a
+    replica that saw a remove and then re-adds always wins locally.
+    """
+
+    def __init__(self, replica_id: Hashable, bias: str = "add") -> None:
+        if bias not in ("add", "remove"):
+            raise ValueError("bias must be 'add' or 'remove'")
+        self.replica_id = replica_id
+        self.bias = bias
+        self._seen = 0
+        self._adds: dict[Any, tuple[int, str]] = {}
+        self._removes: dict[Any, tuple[int, str]] = {}
+
+    def _next_stamp(self) -> tuple[int, str]:
+        self._seen += 1
+        return (self._seen, str(self.replica_id))
+
+    def add(self, item: Any) -> None:
+        self._adds[item] = max(
+            self._adds.get(item, (0, "")), self._next_stamp()
+        )
+
+    def remove(self, item: Any) -> None:
+        self._removes[item] = max(
+            self._removes.get(item, (0, "")), self._next_stamp()
+        )
+
+    def __contains__(self, item: Any) -> bool:
+        add = self._adds.get(item)
+        if add is None:
+            return False
+        remove = self._removes.get(item)
+        if remove is None:
+            return True
+        if add == remove:  # pragma: no cover - distinct replicas differ
+            return self.bias == "add"
+        if add[0] == remove[0]:
+            # Same logical instant at different replicas: bias decides.
+            return self.bias == "add"
+        return add > remove
+
+    @property
+    def value(self) -> frozenset:
+        return frozenset(item for item in self._adds if item in self)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.value)
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def merge(self, other: "LWWElementSet") -> "LWWElementSet":
+        self._require_same_type(other)
+        for item, stamp in other._adds.items():
+            self._seen = max(self._seen, stamp[0])
+            if stamp > self._adds.get(item, (0, "")):
+                self._adds[item] = stamp
+        for item, stamp in other._removes.items():
+            self._seen = max(self._seen, stamp[0])
+            if stamp > self._removes.get(item, (0, "")):
+                self._removes[item] = stamp
+        return self
+
+    def state(self) -> dict:
+        return {
+            "adds": {repr(k): v for k, v in self._adds.items()},
+            "removes": {repr(k): v for k, v in self._removes.items()},
+        }

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised by this package derives from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause
+while still distinguishing simulator misuse from protocol-level outcomes
+(timeouts, unavailability, transaction aborts).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state (e.g. scheduling
+    an event in the past, or running a stopped simulator)."""
+
+
+class NetworkError(ReproError):
+    """Invalid use of the simulated network (unknown node, bad group)."""
+
+
+class UnavailableError(ReproError):
+    """An operation could not complete because too few replicas were
+    reachable — the 'A' a system gives up under partition (CAP)."""
+
+
+class TimeoutError(ReproError):  # noqa: A001 - deliberate domain name
+    """An operation did not complete within its deadline."""
+
+
+class QuorumError(UnavailableError):
+    """A read or write quorum could not be assembled."""
+
+
+class TransactionAborted(ReproError):
+    """A transaction was aborted (deadlock, conflict, or invariant)."""
+
+    def __init__(self, reason: str = "aborted") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class InvariantViolation(ReproError):
+    """An application invariant (e.g. non-negative balance) would be
+    violated by the requested operation."""
+
+
+class ConsistencyViolation(ReproError):
+    """A checker found a history that violates the claimed model.
+
+    Raised only by ``check_*_or_raise`` helpers; the plain checkers
+    return structured verdicts instead of raising.
+    """
+
+
+class NotLeaderError(ReproError):
+    """A request requiring the leader/master was sent to a non-leader."""
+
+
+class StorageError(ReproError):
+    """Invalid use of a storage engine (missing key where required)."""

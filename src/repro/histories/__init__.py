@@ -1,0 +1,26 @@
+"""Operation histories: the raw material of consistency checking.
+
+A :class:`History` is a set of client-observed operations — key, kind
+(read/write), value/version, session, invocation and response times.
+The checkers in :mod:`repro.checkers` are predicates over histories;
+the replication protocols record histories via :class:`HistoryRecorder`
+so every experiment's consistency claims are machine-checked rather
+than asserted.
+"""
+
+from .events import History, Operation, make_read, make_write
+from .recorder import HistoryRecorder
+
+#: Aliases that read naturally at call sites.
+ReadOp = make_read
+WriteOp = make_write
+
+__all__ = [
+    "Operation",
+    "ReadOp",
+    "WriteOp",
+    "History",
+    "HistoryRecorder",
+    "make_read",
+    "make_write",
+]

@@ -1,0 +1,96 @@
+"""Recording histories from live simulations.
+
+The recorder is deliberately dumb: protocols call ``begin`` when a
+client operation is invoked and ``complete``/``fail`` when it returns.
+Everything clever happens later, in the checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..sim import Simulator
+from .events import History, Operation
+
+
+@dataclass
+class _PendingOp:
+    kind: str
+    key: Hashable
+    session: Hashable
+    start: float
+    replica: Hashable
+
+
+class HistoryRecorder:
+    """Accumulates operations as they complete."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._pending: dict[int, _PendingOp] = {}
+        self._next_handle = 0
+        self._ops: list[Operation] = []
+
+    def begin(
+        self,
+        kind: str,
+        key: Hashable,
+        session: Hashable,
+        replica: Hashable = None,
+    ) -> int:
+        """Record an invocation; returns a handle for completion."""
+        self._next_handle += 1
+        self._pending[self._next_handle] = _PendingOp(
+            kind, key, session, self.sim.now, replica
+        )
+        return self._next_handle
+
+    def complete(
+        self,
+        handle: int,
+        version: int,
+        value: Any = None,
+        replica: Hashable = None,
+    ) -> Operation:
+        """Record a successful response for ``handle``."""
+        pending = self._pending.pop(handle)
+        op = Operation(
+            kind=pending.kind,
+            key=pending.key,
+            version=version,
+            session=pending.session,
+            start=pending.start,
+            end=self.sim.now,
+            value=value,
+            replica=replica if replica is not None else pending.replica,
+        )
+        self._ops.append(op)
+        return op
+
+    def fail(self, handle: int) -> Operation:
+        """Record an operation that never produced a response."""
+        pending = self._pending.pop(handle)
+        op = Operation(
+            kind=pending.kind,
+            key=pending.key,
+            version=0,
+            session=pending.session,
+            start=pending.start,
+            end=None,
+            replica=pending.replica,
+        )
+        self._ops.append(op)
+        return op
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def history(self) -> History:
+        """Snapshot the history recorded so far."""
+        return History(self._ops)
+
+    def record(self, op: Operation) -> None:
+        """Append an externally built operation (for composition)."""
+        self._ops.append(op)

@@ -1,0 +1,84 @@
+"""Replication protocols — the mechanism axis of the taxonomy.
+
+* :class:`PrimaryBackupCluster` — master/slave, async/sync/quorum acks.
+* :class:`DynamoCluster` — partial quorums, sloppy quorums, hinted
+  handoff, read repair on a consistent hash ring (LWW conflicts).
+* :class:`SiblingDynamoCluster` — same quorums with multi-value
+  (sibling) conflicts and dotted-version-vector contexts.
+* :class:`GossipCluster` — anti-entropy (full-state or Merkle).
+* :class:`BayouCluster` — tentative/committed writes with rollback
+  and primary commit order (Bayou).
+* :class:`MultiPaxosCluster` — consensus-replicated KV state machine.
+* :class:`TimelineCluster` — PNUTS per-record mastership.
+* :class:`CausalCluster` — COPS-style causal broadcast KV.
+* :class:`ChainCluster` — chain replication.
+* :class:`Proposer`/:class:`Acceptor` — single-decree Paxos.
+"""
+
+from .anti_entropy import GossipCluster, GossipReplica
+from .bayou import BayouCluster, BayouReplica, BayouWrite
+from .causal_store import CausalClient, CausalCluster, CausalReplica
+from .chain import ChainClient, ChainCluster, ChainReplica
+from .common import ClientNode, Reply, Request, ServerNode
+from .merkle import MerkleTree, build_tree, differing_leaves, keys_in_buckets
+from .multipaxos import (
+    GetCmd,
+    MultiPaxosCluster,
+    PaxosClient,
+    PaxosReplica,
+    PutCmd,
+)
+from .paxos import Acceptor, Ballot, Proposer
+from .primary_backup import PBClient, PBReplica, PrimaryBackupCluster
+from .quorum import DynamoClient, DynamoCluster, DynamoNode
+from .quorum_siblings import (
+    SiblingDynamoClient,
+    SiblingDynamoCluster,
+    SiblingDynamoNode,
+)
+from .ring import HashRing, stable_hash
+from .timeline import TimelineClient, TimelineCluster, TimelineReplica
+
+__all__ = [
+    "ClientNode",
+    "CausalCluster",
+    "CausalClient",
+    "CausalReplica",
+    "ServerNode",
+    "Request",
+    "Reply",
+    "PrimaryBackupCluster",
+    "PBClient",
+    "PBReplica",
+    "DynamoCluster",
+    "DynamoClient",
+    "SiblingDynamoCluster",
+    "SiblingDynamoClient",
+    "SiblingDynamoNode",
+    "DynamoNode",
+    "HashRing",
+    "stable_hash",
+    "GossipCluster",
+    "GossipReplica",
+    "BayouCluster",
+    "BayouReplica",
+    "BayouWrite",
+    "MerkleTree",
+    "build_tree",
+    "differing_leaves",
+    "keys_in_buckets",
+    "Proposer",
+    "Acceptor",
+    "Ballot",
+    "MultiPaxosCluster",
+    "PaxosClient",
+    "PaxosReplica",
+    "PutCmd",
+    "GetCmd",
+    "TimelineCluster",
+    "TimelineClient",
+    "TimelineReplica",
+    "ChainCluster",
+    "ChainClient",
+    "ChainReplica",
+]

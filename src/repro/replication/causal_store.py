@@ -1,0 +1,254 @@
+"""A causally consistent replicated KV store (COPS-style).
+
+The tutorial's "causal consistency" rung as a *server-side* mechanism
+(complementing the client-side session layer): every replica accepts
+writes locally (always available, like EC) but replicates them through
+a reliable **causal broadcast** — a write becomes visible at a remote
+replica only after every write it causally depends on.  Dependencies
+are the writer's context: its own previous writes plus the writes its
+replica had applied (COPS's dependency tracking collapsed into a
+vector clock, which over-approximates the dependency set but never
+under-delivers).
+
+Guarantees (and their checkers):
+
+* causal consistency across replicas — :func:`repro.checkers.check_causal`
+  passes on any recorded history;
+* all four session guarantees for a client pinned to one replica;
+* convergence: concurrent writes to a key are arbitrated by a
+  causality-compatible total rank, so replicas agree.
+
+Not guaranteed: linearizability — remote reads can be stale, which is
+the point: causal is the strongest model compatible with
+always-available local operation (Mahajan et al.), sitting between the
+session rungs and the quorum rungs of E1's spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..crdt.opbased import CausalBuffer, OpEnvelope
+from ..histories import History, Operation
+from ..sim import Future, Network, Simulator
+from .common import ClientNode, ServerNode
+
+#: Arbitration rank of a write: grows along causality (vector-clock
+#: sum strictly increases on causal successors) and breaks concurrent
+#: ties by origin — a Lamport-style total order compatible with the
+#: causal partial order.
+Rank = tuple[int, str]
+
+
+@dataclass
+class CPutLocal:
+    """Client → replica: write at this replica."""
+
+    key: Hashable
+    value: Any
+
+
+@dataclass
+class CGetLocal:
+    """Client → replica: read this replica's view."""
+
+    key: Hashable
+
+
+@dataclass(frozen=True)
+class _WritePayload:
+    key: Hashable
+    value: Any
+
+
+def _rank_of(envelope: OpEnvelope) -> Rank:
+    return (sum(envelope.clock.entries().values()), str(envelope.origin))
+
+
+class CausalReplica(ServerNode):
+    """One replica: local reads/writes + causal broadcast of writes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: Hashable,
+        cluster: "CausalCluster",
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self.cluster = cluster
+        self.buffer = CausalBuffer(node_id, self._apply)
+        self.data: dict[Hashable, tuple[Any, Rank]] = {}
+
+    # -- client-facing -----------------------------------------------------
+    def serve_CPutLocal(self, src: Hashable, payload: CPutLocal):
+        envelope = self.buffer.stamp_local(
+            _WritePayload(payload.key, payload.value)
+        )
+        for peer in self.cluster.node_ids:
+            if peer != self.node_id:
+                self.send(peer, envelope)
+        return _rank_of(envelope)
+
+    def serve_CGetLocal(self, src: Hashable, payload: CGetLocal):
+        value, rank = self.data.get(payload.key, (None, None))
+        return value, rank
+
+    # -- replication --------------------------------------------------------
+    def handle_OpEnvelope(self, src: Hashable, envelope: OpEnvelope) -> None:
+        self.buffer.receive(envelope)
+
+    def _apply(self, envelope: OpEnvelope) -> None:
+        payload: _WritePayload = envelope.payload
+        rank = _rank_of(envelope)
+        current = self.data.get(payload.key)
+        if current is None or rank > current[1]:
+            self.data[payload.key] = (payload.value, rank)
+
+    def snapshot(self) -> dict:
+        return {key: value for key, (value, _rank) in self.data.items()}
+
+
+@dataclass
+class _RawOp:
+    kind: str
+    key: Hashable
+    session: Hashable
+    start: float
+    end: float | None
+    rank: Rank | None
+    value: Any
+    replica: Hashable
+
+
+class CausalClient(ClientNode):
+    """A client pinned to one replica (its 'local datacenter')."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: Hashable,
+        cluster: "CausalCluster",
+        session: Hashable,
+        home: Hashable,
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self.cluster = cluster
+        self.session = session
+        self.home = home
+
+    def _recorded(self, kind, key, inner, extract):
+        outer = Future(self.sim)
+        start = self.sim.now
+
+        def done(future: Future) -> None:
+            if future.error is not None:
+                self.cluster._raw_ops.append(
+                    _RawOp(kind, key, self.session, start, None, None,
+                           None, self.home)
+                )
+                outer.fail(future.error)
+            else:
+                rank, value = extract(future.value)
+                self.cluster._raw_ops.append(
+                    _RawOp(kind, key, self.session, start, self.sim.now,
+                           rank, value, self.home)
+                )
+                outer.resolve(future.value)
+
+        inner.add_callback(done)
+        return outer
+
+    def put(self, key: Hashable, value: Any, timeout: float | None = None) -> Future:
+        """Local write; resolves with the write's arbitration rank."""
+        inner = self.request(self.home, CPutLocal(key, value), timeout)
+        return self._recorded(
+            "write", key, inner, lambda rank: (tuple(rank), value)
+        )
+
+    def get(self, key: Hashable, timeout: float | None = None) -> Future:
+        """Local read; resolves with ``(value, rank-or-None)``."""
+        inner = self.request(self.home, CGetLocal(key), timeout)
+        return self._recorded(
+            "read", key, inner,
+            lambda reply: (
+                tuple(reply[1]) if reply[1] is not None else None,
+                reply[0],
+            ),
+        )
+
+
+class CausalCluster:
+    """COPS-style causal KV: local ops + causal broadcast."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: int = 3,
+        node_ids: list[Hashable] | None = None,
+    ) -> None:
+        ids = node_ids or [f"cc{i}" for i in range(nodes)]
+        self.sim = sim
+        self.network = network
+        self.node_ids = list(ids)
+        self.replicas = [CausalReplica(sim, network, i, self) for i in ids]
+        self._clients = 0
+        self._raw_ops: list[_RawOp] = []
+
+    def replica(self, node_id: Hashable) -> CausalReplica:
+        for replica in self.replicas:
+            if replica.node_id == node_id:
+                return replica
+        raise KeyError(node_id)
+
+    def connect(
+        self,
+        home: Hashable,
+        session: Hashable | None = None,
+        client_id: Hashable | None = None,
+    ) -> CausalClient:
+        self._clients += 1
+        session = session if session is not None else f"session-{self._clients}"
+        client_id = client_id if client_id is not None else f"ccclient-{self._clients}"
+        return CausalClient(self.sim, self.network, client_id, self,
+                            session, home)
+
+    def history(self) -> History:
+        """Densify arbitration ranks into per-key integer versions
+        (the same post-hoc scheme as :meth:`DynamoCluster.history`)."""
+        ranks_by_key: dict[Hashable, set[Rank]] = {}
+        for raw in self._raw_ops:
+            if raw.rank is not None:
+                ranks_by_key.setdefault(raw.key, set()).add(raw.rank)
+        dense: dict[tuple[Hashable, Rank], int] = {}
+        for key, ranks in ranks_by_key.items():
+            for index, rank in enumerate(sorted(ranks), start=1):
+                dense[(key, rank)] = index
+        ops = []
+        for raw in self._raw_ops:
+            version = 0
+            if raw.rank is not None:
+                version = dense.get((raw.key, raw.rank), 0)
+            ops.append(
+                Operation(
+                    kind=raw.kind,
+                    key=raw.key,
+                    version=version,
+                    session=raw.session,
+                    start=raw.start,
+                    end=raw.end,
+                    value=raw.value,
+                    replica=raw.replica,
+                )
+            )
+        return History(ops)
+
+    def snapshots(self) -> list[dict]:
+        return [replica.snapshot() for replica in self.replicas]
+
+    def pending_total(self) -> int:
+        """Writes still held back waiting for causal dependencies."""
+        return sum(r.buffer.pending_count for r in self.replicas)

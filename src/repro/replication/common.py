@@ -1,0 +1,129 @@
+"""Request/reply plumbing shared by every replication protocol.
+
+Clients are first-class network nodes (:class:`ClientNode`): a client
+operation is a :class:`Request` message to some server node, matched
+to a :class:`Reply` by id, with an optional timeout.  This keeps
+client-observed latency honest — it includes the client↔server hops
+through the same latency/partition model the replicas use — and gives
+every protocol the same failure surface (a request into a partitioned
+server simply times out).
+
+Servers implement ``serve_<PayloadClassName>(src, payload) -> result``;
+returning a :class:`Future` defers the reply until the protocol round
+(quorum, acks, consensus) completes.  Raising inside ``serve_*`` or
+failing the future sends an error reply that fails the client future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from .. import errors
+from ..errors import ReproError, SimulationError
+from ..errors import TimeoutError as ReproTimeoutError
+from ..sim import Future, Network, Node, Simulator
+
+
+@dataclass
+class Request:
+    request_id: int
+    payload: Any
+
+
+@dataclass
+class Reply:
+    request_id: int
+    payload: Any = None
+    error: str | None = None          # exception class name
+    error_message: str = ""
+
+
+def _error_reply(request_id: int, exc: BaseException) -> Reply:
+    return Reply(
+        request_id,
+        error=type(exc).__name__,
+        error_message=str(exc),
+    )
+
+
+def _rebuild_error(reply: Reply) -> ReproError:
+    exc_type = getattr(errors, reply.error or "", None)
+    if isinstance(exc_type, type) and issubclass(exc_type, BaseException):
+        return exc_type(reply.error_message)
+    return ReproError(f"{reply.error}: {reply.error_message}")
+
+
+class ClientNode(Node):
+    """A network-attached client issuing request/reply operations."""
+
+    def __init__(self, sim: Simulator, network: Network, node_id: Hashable):
+        super().__init__(sim, network, node_id)
+        self._next_request = 0
+        self._outstanding: dict[int, Future] = {}
+
+    def request(
+        self, dst: Hashable, payload: Any, timeout: float | None = None
+    ) -> Future:
+        """Send ``payload`` to ``dst``; the future resolves with the
+        reply payload (or fails with the server's error / a timeout)."""
+        self._next_request += 1
+        request_id = self._next_request
+        future = Future(self.sim, label=f"req#{request_id}->{dst}")
+        self._outstanding[request_id] = future
+        self.send(dst, Request(request_id, payload))
+        if timeout is not None:
+            self.set_timer(timeout, self._timeout, request_id)
+        return future
+
+    def _timeout(self, request_id: int) -> None:
+        future = self._outstanding.pop(request_id, None)
+        if future is not None and not future.done:
+            future.fail(ReproTimeoutError(f"request #{request_id} timed out"))
+
+    def handle_Reply(self, src: Hashable, msg: Reply) -> None:
+        future = self._outstanding.pop(msg.request_id, None)
+        if future is None or future.done:
+            return  # late reply after timeout
+        if msg.error is not None:
+            future.fail(_rebuild_error(msg))
+        else:
+            future.resolve(msg.payload)
+
+
+class ServerNode(Node):
+    """A node that serves typed request payloads.
+
+    Subclasses define ``serve_<PayloadClassName>`` methods; each may
+    return a plain value (replied immediately) or a :class:`Future`
+    (replied when it resolves).
+    """
+
+    def handle_Request(self, src: Hashable, msg: Request) -> None:
+        handler = getattr(self, f"serve_{type(msg.payload).__name__}", None)
+        if handler is None:
+            raise SimulationError(
+                f"{type(self).__name__} {self.node_id!r} cannot serve "
+                f"{type(msg.payload).__name__}"
+            )
+        try:
+            result = handler(src, msg.payload)
+        except ReproError as exc:
+            self.send(src, _error_reply(msg.request_id, exc))
+            return
+        if isinstance(result, Future):
+            result.add_callback(
+                lambda future: self._reply_from_future(src, msg.request_id, future)
+            )
+        else:
+            self.send(src, Reply(msg.request_id, result))
+
+    def _reply_from_future(
+        self, src: Hashable, request_id: int, future: Future
+    ) -> None:
+        if self.crashed:
+            return
+        if future.error is not None:
+            self.send(src, _error_reply(request_id, future.error))
+        else:
+            self.send(src, Reply(request_id, future.value))

@@ -1,0 +1,420 @@
+"""Multi-Paxos replicated state machine over a key-value store.
+
+The Spanner/Megastore stand-in: a stable leader sequences client
+commands into a replicated log; an entry commits when a majority of
+replicas accept it; every replica applies the log in order to a local
+KV state machine.  Client writes and *linearizable* reads go through
+the log (one WAN round trip leader↔majority — the cost E10 measures);
+*local* reads hit any replica's state machine directly and may be
+stale but are timeline-consistent (log-prefix order).
+
+Leader change runs a full phase 1 (ballot prepare over all log slots),
+so the protocol stays safe across failovers; the happy path skips
+phase 1 exactly as Multi-Paxos prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..errors import NotLeaderError
+from ..histories import HistoryRecorder
+from ..sim import Future, Network, Simulator
+from .common import ClientNode, ServerNode
+from .paxos import NO_BALLOT, Ballot
+
+
+# -- commands -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PutCmd:
+    key: Hashable
+    value: Any
+
+
+@dataclass(frozen=True)
+class GetCmd:
+    key: Hashable
+
+
+@dataclass(frozen=True)
+class Noop:
+    pass
+
+
+# -- client payloads ------------------------------------------------------------
+
+
+@dataclass
+class SubmitCmd:
+    command: Any
+
+
+@dataclass
+class LocalRead:
+    key: Hashable
+
+
+# -- replica-to-replica messages ---------------------------------------------
+
+
+@dataclass
+class MPPrepare:
+    ballot: Ballot
+
+
+@dataclass
+class MPPromise:
+    ballot: Ballot
+    accepted: dict  # slot -> (ballot, command)
+
+
+@dataclass
+class MPAccept:
+    ballot: Ballot
+    slot: int
+    command: Any
+
+
+@dataclass
+class MPAccepted:
+    ballot: Ballot
+    slot: int
+
+
+@dataclass
+class MPNack:
+    ballot: Ballot
+    promised: Ballot
+
+
+@dataclass
+class MPCommit:
+    slot: int
+    command: Any
+
+
+@dataclass
+class CatchupRequest:
+    """Learner with a log gap asks a peer for committed slots."""
+
+    from_slot: int
+
+
+@dataclass
+class CatchupReply:
+    committed: dict  # slot -> command
+
+
+class PaxosReplica(ServerNode):
+    """Acceptor + learner + (when leading) sequencer, in one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: Hashable,
+        cluster: "MultiPaxosCluster",
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self.cluster = cluster
+        # Acceptor state (durable across crash).
+        self.promised: Ballot = NO_BALLOT
+        self.accepted: dict[int, tuple[Ballot, Any]] = {}
+        # Learner state.
+        self.committed: dict[int, Any] = {}
+        self.applied_through = -1
+        self.store: dict[Hashable, tuple[Any, int]] = {}  # key -> (value, version)
+        self._versions: dict[Hashable, int] = {}
+        # Leader state.
+        self.is_leader = False
+        self.ballot: Ballot = NO_BALLOT
+        self.next_slot = 0
+        self._accept_votes: dict[int, set] = {}   # slot -> acceptor ids
+        self._proposals: dict[int, Any] = {}
+        self._slot_futures: dict[int, Future] = {}
+        self._promises: list[tuple[Hashable, MPPromise]] = []
+        self._preparing = False
+        self._catching_up = False
+
+    # ------------------------------------------------------------------
+    # Leadership
+    # ------------------------------------------------------------------
+    def start_leadership(self, round_number: int = 1) -> None:
+        """Run phase 1 for all slots with ballot (round, node_id)."""
+        self.ballot = (round_number, str(self.node_id))
+        self._preparing = True
+        self._promises = []
+        for peer in self.cluster.node_ids:
+            self.send(peer, MPPrepare(self.ballot))
+
+    def handle_MPPrepare(self, src: Hashable, msg: MPPrepare) -> None:
+        # Re-promising an equal ballot keeps the handler idempotent
+        # under message duplication (a nack here would depose the
+        # leader with its own duplicated prepare).
+        if msg.ballot >= self.promised:
+            self.promised = msg.ballot
+            self.send(src, MPPromise(msg.ballot, dict(self.accepted)))
+        else:
+            self.send(src, MPNack(msg.ballot, self.promised))
+
+    def handle_MPPromise(self, src: Hashable, msg: MPPromise) -> None:
+        if not self._preparing or msg.ballot != self.ballot:
+            return
+        if any(existing_src == src for existing_src, _m in self._promises):
+            return  # duplicate delivery
+        self._promises.append((src, msg))
+        if len(self._promises) < self.cluster.majority:
+            return
+        self._preparing = False
+        self.is_leader = True
+        # Adopt the highest-ballot accepted command per slot and
+        # re-propose it, so no chosen command is ever lost.
+        by_slot: dict[int, tuple[Ballot, Any]] = {}
+        for _src, promise in self._promises:
+            for slot, (ballot, command) in promise.accepted.items():
+                if slot not in by_slot or ballot > by_slot[slot][0]:
+                    by_slot[slot] = (ballot, command)
+        max_slot = max(by_slot, default=-1)
+        for slot in range(max_slot + 1):
+            _b, command = by_slot.get(slot, (NO_BALLOT, Noop()))
+            self._propose_in_slot(slot, command)
+        self.next_slot = max(self.next_slot, max_slot + 1)
+        self.cluster._on_leader_elected(self)
+
+    def handle_MPNack(self, src: Hashable, msg: MPNack) -> None:
+        if msg.ballot != self.ballot:
+            return
+        self._preparing = False
+        self.is_leader = False
+
+    # ------------------------------------------------------------------
+    # Log replication (phase 2)
+    # ------------------------------------------------------------------
+    def _propose_in_slot(self, slot: int, command: Any) -> None:
+        self._accept_votes.setdefault(slot, set())
+        self._proposals[slot] = command
+        for peer in self.cluster.node_ids:
+            self.send(peer, MPAccept(self.ballot, slot, command))
+
+    def handle_MPAccept(self, src: Hashable, msg: MPAccept) -> None:
+        if msg.ballot >= self.promised:
+            self.promised = msg.ballot
+            self.accepted[msg.slot] = (msg.ballot, msg.command)
+            self.send(src, MPAccepted(msg.ballot, msg.slot))
+
+    def handle_MPAccepted(self, src: Hashable, msg: MPAccepted) -> None:
+        if not self.is_leader or msg.ballot != self.ballot:
+            return
+        if msg.slot in self.committed:
+            return
+        votes = self._accept_votes.setdefault(msg.slot, set())
+        votes.add(src)  # set semantics: duplicates don't double-count
+        if len(votes) >= self.cluster.majority:
+            command = self._proposals[msg.slot]
+            self._commit(msg.slot, command)
+            for peer in self.cluster.node_ids:
+                if peer != self.node_id:
+                    self.send(peer, MPCommit(msg.slot, command))
+
+    def handle_MPCommit(self, src: Hashable, msg: MPCommit) -> None:
+        self._commit(msg.slot, msg.command)
+        # A gap below this commit means we missed earlier commits
+        # (crash, partition): learn them from the sender.
+        if self.applied_through < msg.slot and not self._catching_up:
+            self._catching_up = True
+            self.send(src, CatchupRequest(self.applied_through + 1))
+
+    def handle_CatchupRequest(self, src: Hashable, msg: CatchupRequest) -> None:
+        slots = {
+            slot: command
+            for slot, command in self.committed.items()
+            if slot >= msg.from_slot
+        }
+        self.send(src, CatchupReply(slots))
+
+    def handle_CatchupReply(self, src: Hashable, msg: CatchupReply) -> None:
+        self._catching_up = False
+        for slot, command in sorted(msg.committed.items()):
+            self._commit(slot, command)
+
+    def _commit(self, slot: int, command: Any) -> None:
+        if slot not in self.committed:
+            self.committed[slot] = command
+        self._apply_ready()
+
+    def _apply_ready(self) -> None:
+        while self.applied_through + 1 in self.committed:
+            slot = self.applied_through + 1
+            command = self.committed[slot]
+            result = self._apply(command)
+            self.applied_through = slot
+            future = self._slot_futures.pop(slot, None)
+            if future is not None and not future.done:
+                future.resolve(result)
+
+    def _apply(self, command: Any) -> Any:
+        if isinstance(command, PutCmd):
+            version = self._versions.get(command.key, 0) + 1
+            self._versions[command.key] = version
+            self.store[command.key] = (command.value, version)
+            return version
+        if isinstance(command, GetCmd):
+            return self.store.get(command.key, (None, 0))
+        return None  # Noop
+
+    # ------------------------------------------------------------------
+    # Client-facing
+    # ------------------------------------------------------------------
+    def serve_SubmitCmd(self, src: Hashable, payload: SubmitCmd):
+        if not self.is_leader:
+            raise NotLeaderError(f"{self.node_id!r} is not the leader")
+        slot = self.next_slot
+        self.next_slot += 1
+        future = Future(self.sim, label=f"slot#{slot}")
+        self._slot_futures[slot] = future
+        self._propose_in_slot(slot, payload.command)
+        return future
+
+    def serve_LocalRead(self, src: Hashable, payload: LocalRead):
+        return self.store.get(payload.key, (None, 0))
+
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        # promised/accepted/committed persist (durable); leadership and
+        # in-flight client futures do not.
+        self.is_leader = False
+        self._preparing = False
+        self._catching_up = False
+        self._accept_votes.clear()
+        self._proposals.clear()
+        self._slot_futures.clear()
+
+    def snapshot(self) -> dict:
+        return {key: value for key, (value, _version) in self.store.items()}
+
+
+class PaxosClient(ClientNode):
+    """Client handle with history recording."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: Hashable,
+        cluster: "MultiPaxosCluster",
+        session: Hashable,
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self.cluster = cluster
+        self.session = session
+
+    def _recorded(
+        self, kind: str, key: Hashable, target: Hashable, inner: Future,
+        extract,
+    ) -> Future:
+        recorder = self.cluster.recorder
+        handle = recorder.begin(kind, key, self.session, target)
+        outer = Future(self.sim)
+
+        def done(future: Future) -> None:
+            if future.error is not None:
+                recorder.fail(handle)
+                outer.fail(future.error)
+            else:
+                version, value = extract(future.value)
+                recorder.complete(handle, version, value)
+                outer.resolve(future.value)
+
+        inner.add_callback(done)
+        return outer
+
+    def put(
+        self, key: Hashable, value: Any, timeout: float | None = None
+    ) -> Future:
+        """Replicated write; resolves with the new version."""
+        leader = self.cluster.leader.node_id
+        inner = self.request(leader, SubmitCmd(PutCmd(key, value)), timeout)
+        return self._recorded(
+            "write", key, leader, inner, lambda v: (v, value)
+        )
+
+    def get(self, key: Hashable, timeout: float | None = None) -> Future:
+        """Linearizable read through the log; resolves (value, version)."""
+        leader = self.cluster.leader.node_id
+        inner = self.request(leader, SubmitCmd(GetCmd(key)), timeout)
+        return self._recorded(
+            "read", key, leader, inner, lambda v: (v[1], v[0])
+        )
+
+    def local_get(
+        self,
+        key: Hashable,
+        replica: "PaxosReplica | None" = None,
+        timeout: float | None = None,
+    ) -> Future:
+        """Possibly stale read from one replica's state machine."""
+        target = (replica or self.cluster.leader).node_id
+        inner = self.request(target, LocalRead(key), timeout)
+        return self._recorded(
+            "read", key, target, inner, lambda v: (v[1], v[0])
+        )
+
+
+class MultiPaxosCluster:
+    """A Multi-Paxos group replicating a KV state machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: int = 3,
+        node_ids: list[Hashable] | None = None,
+    ) -> None:
+        if nodes < 1:
+            raise ValueError("need at least one replica")
+        ids = node_ids or [f"px{i}" for i in range(nodes)]
+        self.sim = sim
+        self.network = network
+        self.node_ids = list(ids)
+        self.replicas = [PaxosReplica(sim, network, i, self) for i in ids]
+        self.recorder = HistoryRecorder(sim)
+        self._clients = 0
+        self._leader: PaxosReplica | None = None
+        self._round = 0
+
+    @property
+    def majority(self) -> int:
+        return len(self.replicas) // 2 + 1
+
+    @property
+    def leader(self) -> PaxosReplica:
+        if self._leader is None or self._leader.crashed or not self._leader.is_leader:
+            raise NotLeaderError("no active leader; call elect() first")
+        return self._leader
+
+    def elect(self, replica: "PaxosReplica | None" = None) -> None:
+        """Start phase 1 at ``replica`` (default: first alive node).
+        Run the simulator to let the election finish."""
+        candidate = replica or next(r for r in self.replicas if not r.crashed)
+        self._round += 1
+        candidate.start_leadership(self._round)
+
+    def _on_leader_elected(self, replica: PaxosReplica) -> None:
+        for other in self.replicas:
+            if other is not replica:
+                other.is_leader = False
+        self._leader = replica
+
+    def connect(
+        self, session: Hashable | None = None, client_id: Hashable | None = None
+    ) -> PaxosClient:
+        self._clients += 1
+        session = session if session is not None else f"session-{self._clients}"
+        client_id = client_id if client_id is not None else f"pxclient-{self._clients}"
+        return PaxosClient(self.sim, self.network, client_id, self, session)
+
+    def snapshots(self) -> list[dict]:
+        return [replica.snapshot() for replica in self.replicas]

@@ -1,0 +1,260 @@
+"""Primary–backup (master–slave) replication.
+
+The oldest point in the tutorial's design space: one primary orders
+all writes and ships them to backups.  The knobs:
+
+* ``mode`` — when the primary acknowledges a write:
+  - ``"async"``  : after applying locally (backups catch up later;
+    backup reads can be stale, failover can lose acked writes),
+  - ``"sync"``   : after *every* backup acked (strong, slow, fragile
+    under partition),
+  - ``"quorum"`` : after a majority acked (strong-ish, partition
+    tolerant — the Cloud SQL Server configuration).
+* where clients read — the primary (linearizable while a single
+  primary exists) or any backup (fast, possibly stale).
+
+Versions are dense per-key integers assigned by the primary — exactly
+what the history checkers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..errors import NotLeaderError, UnavailableError
+from ..histories import HistoryRecorder
+from ..sim import Future, Network, Simulator
+from .common import ClientNode, ServerNode
+
+VALID_MODES = ("async", "sync", "quorum")
+
+
+@dataclass
+class PutPayload:
+    key: Hashable
+    value: Any
+
+
+@dataclass
+class GetPayload:
+    key: Hashable
+
+
+@dataclass
+class ReplicateMsg:
+    key: Hashable
+    value: Any
+    version: int
+    write_id: int
+
+
+@dataclass
+class ReplicateAck:
+    write_id: int
+
+
+class PBReplica(ServerNode):
+    """One primary/backup storage node."""
+
+    def __init__(
+        self, sim: Simulator, network: Network, node_id: Hashable, cluster:
+        "PrimaryBackupCluster"
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self.cluster = cluster
+        self.is_primary = False
+        self.data: dict[Hashable, tuple[Any, int]] = {}
+        self._versions: dict[Hashable, int] = {}
+        self._write_ids = 0
+        self._pending: dict[int, tuple[Future, int, int]] = {}  # id -> (future, version, acks_left)
+
+    # -- storage ---------------------------------------------------------
+    def apply(self, key: Hashable, value: Any, version: int) -> None:
+        current = self.data.get(key)
+        if current is None or version > current[1]:
+            self.data[key] = (value, version)
+
+    def read(self, key: Hashable) -> tuple[Any, int]:
+        return self.data.get(key, (None, 0))
+
+    def snapshot(self) -> dict:
+        return {key: value for key, (value, _version) in self.data.items()}
+
+    # -- client-facing ------------------------------------------------------
+    def serve_GetPayload(self, src: Hashable, payload: GetPayload):
+        return self.read(payload.key)
+
+    def serve_PutPayload(self, src: Hashable, payload: PutPayload):
+        if not self.is_primary:
+            raise NotLeaderError(
+                f"{self.node_id!r} is a backup; writes go to the primary"
+            )
+        version = self._versions.get(payload.key, 0) + 1
+        self._versions[payload.key] = version
+        self.apply(payload.key, payload.value, version)
+        backups = [r for r in self.cluster.replicas if r is not self]
+        acks_needed = self.cluster.acks_needed(len(backups))
+        self._write_ids += 1
+        write_id = self._write_ids
+        msg = ReplicateMsg(payload.key, payload.value, version, write_id)
+        for backup in backups:
+            self.send(backup.node_id, msg)
+        if acks_needed == 0:
+            return version
+        future = Future(self.sim, label=f"pb-write#{write_id}")
+        self._pending[write_id] = (future, version, acks_needed)
+        return future
+
+    # -- replication ----------------------------------------------------
+    def handle_ReplicateMsg(self, src: Hashable, msg: ReplicateMsg) -> None:
+        self.apply(msg.key, msg.value, msg.version)
+        self._versions[msg.key] = max(
+            self._versions.get(msg.key, 0), msg.version
+        )
+        self.send(src, ReplicateAck(msg.write_id))
+
+    def handle_ReplicateAck(self, src: Hashable, msg: ReplicateAck) -> None:
+        entry = self._pending.get(msg.write_id)
+        if entry is None:
+            return
+        future, version, acks_left = entry
+        acks_left -= 1
+        if acks_left <= 0:
+            del self._pending[msg.write_id]
+            future.resolve(version)
+        else:
+            self._pending[msg.write_id] = (future, version, acks_left)
+
+    def on_crash(self) -> None:
+        # In-flight writes never ack; clients time out.
+        self._pending.clear()
+
+
+class PBClient(ClientNode):
+    """Client handle bound to one session, recording history."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: Hashable,
+        cluster: "PrimaryBackupCluster",
+        session: Hashable,
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self.cluster = cluster
+        self.session = session
+
+    def put(
+        self, key: Hashable, value: Any, timeout: float | None = None
+    ) -> Future:
+        """Write through the primary; resolves with the new version."""
+        recorder = self.cluster.recorder
+        primary = self.cluster.primary
+        handle = recorder.begin("write", key, self.session, primary.node_id)
+        inner = self.request(primary.node_id, PutPayload(key, value), timeout)
+        outer = Future(self.sim, label=f"put({key!r})")
+
+        def done(future: Future) -> None:
+            if future.error is not None:
+                recorder.fail(handle)
+                outer.fail(future.error)
+            else:
+                recorder.complete(handle, future.value)
+                outer.resolve(future.value)
+
+        inner.add_callback(done)
+        return outer
+
+    def get(
+        self,
+        key: Hashable,
+        replica: "PBReplica | None" = None,
+        timeout: float | None = None,
+    ) -> Future:
+        """Read from ``replica`` (default primary); resolves with
+        ``(value, version)``."""
+        target = replica or self.cluster.primary
+        recorder = self.cluster.recorder
+        handle = recorder.begin("read", key, self.session, target.node_id)
+        inner = self.request(target.node_id, GetPayload(key), timeout)
+        outer = Future(self.sim, label=f"get({key!r})")
+
+        def done(future: Future) -> None:
+            if future.error is not None:
+                recorder.fail(handle)
+                outer.fail(future.error)
+            else:
+                value, version = future.value
+                recorder.complete(handle, version, value)
+                outer.resolve((value, version))
+
+        inner.add_callback(done)
+        return outer
+
+
+class PrimaryBackupCluster:
+    """A primary plus ``n - 1`` backups over a shared network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        n: int = 3,
+        mode: str = "async",
+        node_ids: list[Hashable] | None = None,
+    ) -> None:
+        if mode not in VALID_MODES:
+            raise ValueError(f"mode must be one of {VALID_MODES}")
+        if n < 1:
+            raise ValueError("need at least one replica")
+        ids = node_ids or [f"pb{i}" for i in range(n)]
+        if len(ids) != n:
+            raise ValueError("node_ids length must equal n")
+        self.sim = sim
+        self.network = network
+        self.mode = mode
+        self.replicas = [PBReplica(sim, network, node_id, self) for node_id in ids]
+        self.replicas[0].is_primary = True
+        self.recorder = HistoryRecorder(sim)
+        self._clients = 0
+
+    @property
+    def primary(self) -> PBReplica:
+        for replica in self.replicas:
+            if replica.is_primary:
+                return replica
+        raise UnavailableError("no primary")
+
+    @property
+    def backups(self) -> list[PBReplica]:
+        return [r for r in self.replicas if not r.is_primary]
+
+    def acks_needed(self, backup_count: int) -> int:
+        if self.mode == "async" or backup_count == 0:
+            return 0
+        if self.mode == "sync":
+            return backup_count
+        return (backup_count + 1) // 2  # majority of all replicas incl. self
+
+    def connect(
+        self, session: Hashable | None = None, client_id: Hashable | None = None
+    ) -> PBClient:
+        """Attach a new client node (one session) to the network."""
+        self._clients += 1
+        session = session if session is not None else f"session-{self._clients}"
+        client_id = client_id if client_id is not None else f"client-{self._clients}"
+        return PBClient(self.sim, self.network, client_id, self, session)
+
+    def promote(self, replica: PBReplica) -> None:
+        """Manual failover.  With ``async`` mode this can lose acked
+        writes — deliberately reproducible (discussed in E1/E12)."""
+        if replica not in self.replicas:
+            raise ValueError("unknown replica")
+        for r in self.replicas:
+            r.is_primary = False
+        replica.is_primary = True
+
+    def snapshots(self) -> list[dict]:
+        return [replica.snapshot() for replica in self.replicas]

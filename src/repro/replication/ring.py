@@ -1,0 +1,100 @@
+"""Consistent hash ring with virtual nodes (Dynamo/Cassandra style).
+
+Keys are placed on a ring of hashed tokens; a key's **preference
+list** is the next N *distinct physical nodes* clockwise from the
+key's position.  Virtual nodes smooth the load distribution.  The ring
+is also what sloppy quorums walk to find fallback replicas.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterator
+
+
+def stable_hash(value: object) -> int:
+    """Deterministic 64-bit hash (Python's builtin hash is salted)."""
+    digest = hashlib.blake2b(
+        repr(value).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing with ``vnodes`` tokens per physical node."""
+
+    def __init__(self, nodes: list[Hashable], vnodes: int = 16) -> None:
+        if not nodes:
+            raise ValueError("ring needs at least one node")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._tokens: list[tuple[int, Hashable]] = []
+        self._nodes: list[Hashable] = []
+        for node in nodes:
+            self.add_node(node)
+
+    def add_node(self, node: Hashable) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on ring")
+        self._nodes.append(node)
+        for i in range(self.vnodes):
+            token = stable_hash((node, i))
+            bisect.insort(self._tokens, (token, node))
+
+    def remove_node(self, node: Hashable) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on ring")
+        self._nodes.remove(node)
+        self._tokens = [(t, n) for t, n in self._tokens if n != node]
+
+    @property
+    def nodes(self) -> list[Hashable]:
+        return list(self._nodes)
+
+    def _walk_from(self, key: Hashable) -> Iterator[Hashable]:
+        """Physical nodes clockwise from the key's token, distinct,
+        cycling over the whole ring once."""
+        if not self._tokens:
+            return
+        token = stable_hash(key)
+        start = bisect.bisect_right(self._tokens, (token, _SENTINEL))
+        seen: set[Hashable] = set()
+        count = len(self._tokens)
+        for offset in range(count):
+            _t, node = self._tokens[(start + offset) % count]
+            if node not in seen:
+                seen.add(node)
+                yield node
+
+    def preference_list(self, key: Hashable, n: int) -> list[Hashable]:
+        """The key's N home replicas (fewer if the ring is smaller)."""
+        out = []
+        for node in self._walk_from(key):
+            out.append(node)
+            if len(out) == n:
+                break
+        return out
+
+    def fallbacks(self, key: Hashable, exclude: set) -> list[Hashable]:
+        """Ring walk in key order skipping ``exclude`` — the
+        sloppy-quorum stand-ins for unreachable home replicas."""
+        return [node for node in self._walk_from(key) if node not in exclude]
+
+    def coordinator(self, key: Hashable) -> Hashable:
+        """The key's first home node — the default coordinator."""
+        return self.preference_list(key, 1)[0]
+
+
+class _Sentinel:
+    """Greater than every node id, for bisect on (token, node) pairs."""
+
+    def __lt__(self, other: object) -> bool:
+        return False
+
+    def __gt__(self, other: object) -> bool:
+        return True
+
+
+_SENTINEL = _Sentinel()

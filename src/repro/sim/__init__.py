@@ -1,0 +1,62 @@
+"""Deterministic discrete-event simulation substrate.
+
+This subpackage replaces the distributed testbeds behind the systems
+the tutorial surveys: a seeded event loop (:class:`Simulator`), a lossy
+partitionable network (:class:`Network`), generator-based client
+processes (:func:`spawn`), and named WAN topologies
+(:mod:`repro.sim.topology`).
+"""
+
+from .core import Simulator
+from .events import Event, EventQueue
+from .network import (
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    LogNormalLatency,
+    MatrixLatency,
+    Network,
+    NetworkStats,
+    UniformLatency,
+    estimate_size,
+)
+from .node import Node
+from .process import Future, Process, all_of, spawn
+from .topology import (
+    SINGLE_DC,
+    THREE_CONTINENTS,
+    TOPOLOGIES,
+    US_TRIANGLE,
+    WORLD5,
+    Topology,
+    round_robin_placement,
+    symmetric_delays,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "Network",
+    "NetworkStats",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "LogNormalLatency",
+    "MatrixLatency",
+    "estimate_size",
+    "Node",
+    "Future",
+    "Process",
+    "spawn",
+    "all_of",
+    "Topology",
+    "TOPOLOGIES",
+    "SINGLE_DC",
+    "US_TRIANGLE",
+    "WORLD5",
+    "THREE_CONTINENTS",
+    "round_robin_placement",
+    "symmetric_delays",
+]

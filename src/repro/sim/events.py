@@ -1,0 +1,126 @@
+"""Event queue primitives for the discrete-event simulator.
+
+The queue is a binary heap ordered by ``(time, sequence)``.  The
+monotonically increasing sequence number makes the ordering of
+simultaneous events deterministic (FIFO in scheduling order), which is
+what makes whole simulations reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Events are one-shot and cancellable.  Cancellation is O(1): the
+    event is flagged and skipped when it surfaces from the heap.
+    """
+
+    __slots__ = (
+        "time", "seq", "fn", "args", "cancelled", "daemon", "executed",
+        "_queue",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        queue: "EventQueue | None" = None,
+        daemon: bool = False,
+    ):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.daemon = daemon
+        self.executed = False
+        self._queue = queue
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; cancelling an
+        event that already fired is a harmless no-op."""
+        if not self.cancelled and not self.executed:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
+                if not self.daemon:
+                    self._queue._foreground -= 1
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6f} #{self.seq} {name} {state}>"
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+        self._foreground = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    @property
+    def foreground_live(self) -> int:
+        """Live events that keep a ``run()`` without deadline going.
+        Daemon events (periodic protocol timers) don't count — a
+        simulation is 'done' when only daemons remain."""
+        return self._foreground
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        daemon: bool = False,
+    ) -> Event:
+        event = Event(time, next(self._counter), fn, args, queue=self,
+                      daemon=daemon)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        if not daemon:
+            self._foreground += 1
+        return event
+
+    def pop(self) -> Event:
+        """Pop the earliest non-cancelled event.
+
+        Raises :class:`SimulationError` if the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            event.executed = True
+            self._live -= 1
+            if not event.daemon:
+                self._foreground -= 1
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,311 @@
+"""Simulated message-passing network.
+
+The network delivers arbitrary Python objects between registered nodes
+with per-link latency sampled from a :class:`LatencyModel`.  It can
+drop, duplicate and partition — the failure modes whose handling
+distinguishes the replication protocols in :mod:`repro.replication`.
+
+Messages between distinct nodes are delivered by scheduling
+``dst.deliver(src_id, message)`` on the owning simulator.  Delivery to
+a node's own id is allowed (loopback) and uses ``loopback_latency``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Protocol
+
+from ..errors import NetworkError
+from .core import Simulator
+
+NodeId = Hashable
+
+
+class LatencyModel(Protocol):
+    """Samples a one-way message delay in milliseconds."""
+
+    def sample(self, rng, src: NodeId, dst: NodeId) -> float:  # pragma: no cover
+        ...
+
+
+class FixedLatency:
+    """Every message takes exactly ``delay`` ms."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise NetworkError("latency must be non-negative")
+        self.delay = delay
+
+    def sample(self, rng, src: NodeId, dst: NodeId) -> float:
+        return self.delay
+
+
+class UniformLatency:
+    """Delay uniform in ``[low, high]`` ms."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise NetworkError(f"invalid uniform range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng, src: NodeId, dst: NodeId) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class ExponentialLatency:
+    """``base`` plus an exponential tail with the given ``mean`` — the
+    standard model for LAN latencies with occasional stragglers."""
+
+    def __init__(self, base: float = 0.5, mean: float = 1.0) -> None:
+        if base < 0 or mean <= 0:
+            raise NetworkError("base must be >= 0 and mean > 0")
+        self.base = base
+        self.mean = mean
+
+    def sample(self, rng, src: NodeId, dst: NodeId) -> float:
+        return self.base + rng.expovariate(1.0 / self.mean)
+
+
+class LogNormalLatency:
+    """Log-normal delay, parameterized by its median and sigma.
+
+    Heavy-tailed; a good fit for measured WAN one-way delays.
+    """
+
+    def __init__(self, median: float = 1.0, sigma: float = 0.5) -> None:
+        if median <= 0 or sigma < 0:
+            raise NetworkError("median must be > 0 and sigma >= 0")
+        import math
+
+        self.mu = math.log(median)
+        self.sigma = sigma
+
+    def sample(self, rng, src: NodeId, dst: NodeId) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+
+class MatrixLatency:
+    """Per-pair base latency plus a multiplicative jitter factor.
+
+    ``matrix`` maps ``(src, dst)`` (or the node's *site*, see
+    ``site_of``) to a one-way base delay.  Jitter multiplies the base by
+    ``uniform(1, 1 + jitter)``.
+    """
+
+    def __init__(
+        self,
+        matrix: dict[tuple[Hashable, Hashable], float],
+        site_of: Callable[[NodeId], Hashable] | None = None,
+        jitter: float = 0.1,
+        default: float | None = None,
+    ) -> None:
+        self.matrix = dict(matrix)
+        self.site_of = site_of or (lambda node: node)
+        self.jitter = jitter
+        self.default = default
+
+    def sample(self, rng, src: NodeId, dst: NodeId) -> float:
+        key = (self.site_of(src), self.site_of(dst))
+        base = self.matrix.get(key)
+        if base is None:
+            base = self.matrix.get((key[1], key[0]), self.default)
+        if base is None:
+            raise NetworkError(f"no latency entry for {key}")
+        if self.jitter <= 0:
+            return base
+        return base * rng.uniform(1.0, 1.0 + self.jitter)
+
+
+def estimate_size(obj: Any) -> int:
+    """Rough serialized size of a message, in bytes.
+
+    Used for the bandwidth comparisons (Merkle vs. full-state
+    anti-entropy, state- vs. delta-CRDT shipping).  The estimate is a
+    simple recursive model — 8 bytes per number, string/bytes length,
+    container overhead — deliberately deterministic and cheap.
+    """
+    if obj is None or isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, str):
+        return 2 + len(obj.encode("utf-8", errors="replace"))
+    if isinstance(obj, bytes):
+        return 2 + len(obj)
+    if isinstance(obj, dict):
+        return 4 + sum(estimate_size(k) + estimate_size(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 4 + sum(estimate_size(item) for item in obj)
+    if hasattr(obj, "__dict__"):
+        return 8 + estimate_size(vars(obj))
+    if hasattr(obj, "__slots__"):
+        return 8 + sum(
+            estimate_size(getattr(obj, slot))
+            for slot in obj.__slots__
+            if hasattr(obj, slot)
+        )
+    return 16
+
+
+@dataclass
+class NetworkStats:
+    """Counters the analysis layer reads after a run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped_loss: int = 0
+    messages_dropped_partition: int = 0
+    messages_dropped_crash: int = 0
+    messages_duplicated: int = 0
+    bytes_sent: int = 0
+    by_type: dict = field(default_factory=dict)
+
+    def record_type(self, message: Any) -> None:
+        name = type(message).__name__
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+
+
+class Network:
+    """The message fabric connecting :class:`repro.sim.node.Node` objects.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    latency:
+        One-way delay model; defaults to 1 ms fixed.
+    loss_rate:
+        Probability a message is silently dropped (checked per copy).
+    duplicate_rate:
+        Probability a message is delivered twice.
+    loopback_latency:
+        Delay for a node sending to itself.
+    track_bytes:
+        When true, every payload is passed through
+        :func:`estimate_size` (costs CPU; off by default).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        loopback_latency: float = 0.01,
+        track_bytes: bool = False,
+    ) -> None:
+        if not 0 <= loss_rate < 1:
+            raise NetworkError("loss_rate must be in [0, 1)")
+        if not 0 <= duplicate_rate < 1:
+            raise NetworkError("duplicate_rate must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency or FixedLatency(1.0)
+        self.loss_rate = loss_rate
+        self.duplicate_rate = duplicate_rate
+        self.loopback_latency = loopback_latency
+        self.track_bytes = track_bytes
+        self.stats = NetworkStats()
+        self._nodes: dict[NodeId, Any] = {}
+        self._partition: dict[NodeId, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, node: Any) -> None:
+        """Attach a node (anything with ``.node_id`` and ``.deliver``)."""
+        node_id = node.node_id
+        if node_id in self._nodes:
+            raise NetworkError(f"duplicate node id {node_id!r}")
+        self._nodes[node_id] = node
+
+    def node(self, node_id: NodeId) -> Any:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id!r}") from None
+
+    @property
+    def node_ids(self) -> list[NodeId]:
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, *groups: Iterable) -> None:
+        """Split the network: messages cross group boundaries only to be
+        dropped.  Nodes not named in any group form one extra implicit
+        group.  Replaces any existing partition."""
+        assignment: dict[NodeId, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                if node_id not in self._nodes:
+                    raise NetworkError(f"unknown node {node_id!r} in partition")
+                if node_id in assignment:
+                    raise NetworkError(f"node {node_id!r} in two partition groups")
+                assignment[node_id] = index
+        leftover = len(groups)
+        for node_id in self._nodes:
+            if node_id not in assignment:
+                assignment[node_id] = leftover
+        self._partition = assignment
+
+    def heal(self) -> None:
+        """Remove the partition; in-flight messages already dropped stay
+        dropped (links do not retroactively deliver)."""
+        self._partition = None
+
+    def reachable(self, src: NodeId, dst: NodeId) -> bool:
+        if self._partition is None or src == dst:
+            return True
+        return self._partition.get(src) == self._partition.get(dst)
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: NodeId, dst: NodeId, message: Any) -> None:
+        """Fire-and-forget unicast.  Drops are silent, as in UDP/IP —
+        protocol code must tolerate them."""
+        if dst not in self._nodes:
+            raise NetworkError(f"unknown destination {dst!r}")
+        self.stats.messages_sent += 1
+        self.stats.record_type(message)
+        if self.track_bytes:
+            self.stats.bytes_sent += estimate_size(message)
+        if not self.reachable(src, dst):
+            self.stats.messages_dropped_partition += 1
+            return
+        copies = 1
+        if self.duplicate_rate and self.sim.rng.random() < self.duplicate_rate:
+            copies = 2
+            self.stats.messages_duplicated += 1
+        for _ in range(copies):
+            if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+                self.stats.messages_dropped_loss += 1
+                continue
+            delay = (
+                self.loopback_latency
+                if src == dst
+                else self.latency.sample(self.sim.rng, src, dst)
+            )
+            self.sim.schedule(delay, self._deliver, src, dst, message)
+
+    def broadcast(self, src: NodeId, message: Any, include_self: bool = False) -> None:
+        for dst in self._nodes:
+            if dst == src and not include_self:
+                continue
+            self.send(src, dst, message)
+
+    def _deliver(self, src: NodeId, dst: NodeId, message: Any) -> None:
+        node = self._nodes.get(dst)
+        if node is None:  # pragma: no cover - node removed mid-flight
+            return
+        if getattr(node, "crashed", False):
+            self.stats.messages_dropped_crash += 1
+            return
+        self.stats.messages_delivered += 1
+        node.deliver(src, message)

@@ -1,0 +1,155 @@
+"""Base class for protocol participants (replicas, coordinators, clients).
+
+A :class:`Node` is a message-handler state machine: the network calls
+:meth:`deliver`, which dispatches to ``handle_<MessageClassName>``
+methods.  Timers are thin wrappers over the simulator that respect
+crashes — a crashed node neither receives messages nor fires timers.
+
+Crash/recover models fail-stop with amnesia of *volatile* state only:
+subclasses override :meth:`on_crash` / :meth:`on_recover` to decide
+what survives (e.g. a Paxos acceptor persists its promises, a cache
+does not).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from ..errors import SimulationError
+from .core import Simulator
+from .events import Event
+from .network import Network
+
+
+class Node:
+    """A network-attached participant in a simulated protocol.
+
+    Subclasses implement message handling either by defining
+    ``handle_<ClassName>(self, src, msg)`` methods (one per message
+    dataclass) or by overriding :meth:`on_message` wholesale.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, node_id: Hashable) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.crashed = False
+        self._timers: list[Event] = []
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dst: Hashable, message: Any) -> None:
+        """Unicast ``message`` to ``dst`` (silently dropped if crashed)."""
+        if self.crashed:
+            return
+        self.network.send(self.node_id, dst, message)
+
+    def send_many(self, dsts: list, message: Any) -> None:
+        for dst in dsts:
+            self.send(dst, message)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def deliver(self, src: Hashable, message: Any) -> None:
+        """Entry point used by the network.  Do not override; override
+        :meth:`on_message` instead."""
+        if self.crashed:
+            return
+        self.on_message(src, message)
+
+    def on_message(self, src: Hashable, message: Any) -> None:
+        """Dispatch to ``handle_<type(message).__name__>``."""
+        handler = getattr(self, f"handle_{type(message).__name__}", None)
+        if handler is None:
+            raise SimulationError(
+                f"{type(self).__name__} {self.node_id!r} has no handler for "
+                f"{type(message).__name__}"
+            )
+        handler(src, message)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def set_timer(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        daemon: bool = False,
+    ) -> Event:
+        """Run ``fn`` after ``delay`` ms unless this node crashes first.
+
+        ``daemon=True`` makes the timer a background event that does
+        not keep ``sim.run()`` alive (see
+        :meth:`Simulator.schedule_daemon`).
+        """
+
+        def guarded() -> None:
+            if not self.crashed:
+                fn(*args)
+
+        if daemon:
+            event = self.sim.schedule_daemon(delay, guarded)
+        else:
+            event = self.sim.schedule(delay, guarded)
+        self._timers.append(event)
+        if len(self._timers) > 64:
+            self._timers = [t for t in self._timers if not t.cancelled]
+        return event
+
+    def every(self, interval: float, fn: Callable[..., Any], *args: Any,
+              jitter: float = 0.0) -> None:
+        """Run ``fn`` every ``interval`` ms (optionally jittered by up
+        to ``jitter`` fraction) until the node crashes.  Periodic timers
+        are daemons: they fire while other work keeps the simulation
+        alive (or while ``run(until=...)`` holds it open) but never
+        prevent ``run()`` from terminating."""
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+
+        def tick() -> None:
+            if self.crashed:
+                return
+            fn(*args)
+            delay = interval
+            if jitter > 0:
+                delay *= self.sim.rng.uniform(1.0, 1.0 + jitter)
+            self.set_timer(delay, tick, daemon=True)
+
+        first = interval
+        if jitter > 0:
+            first *= self.sim.rng.uniform(0.0, 1.0)
+        self.set_timer(first, tick, daemon=True)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: drop pending timers and all future messages."""
+        if self.crashed:
+            return
+        self.crashed = True
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Restart the node.  Volatile-state policy is the subclass's."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.on_recover()
+
+    def on_crash(self) -> None:
+        """Hook: discard volatile state.  Default keeps everything."""
+
+    def on_recover(self) -> None:
+        """Hook: re-arm timers, trigger recovery protocol."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} {self.node_id!r} {state}>"

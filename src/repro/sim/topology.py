@@ -1,0 +1,144 @@
+"""Named geo-replication topologies.
+
+The tutorial's motivating setting is geo-replication: replicas in
+multiple datacenters, clients near one of them, and WAN round trips
+dominating latency.  This module provides a :class:`Topology` value
+object plus presets with realistic inter-datacenter one-way delays
+(derived from published RTT tables; all values in milliseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..errors import NetworkError
+from .network import MatrixLatency
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A set of named sites and symmetric one-way delays between them.
+
+    ``intra_site`` is the one-way delay between two nodes in the same
+    datacenter.
+    """
+
+    name: str
+    sites: tuple[str, ...]
+    delays: dict[tuple[str, str], float] = field(hash=False)
+    intra_site: float = 0.5
+
+    def delay(self, a: str, b: str) -> float:
+        """One-way delay between sites ``a`` and ``b``."""
+        if a == b:
+            return self.intra_site
+        value = self.delays.get((a, b), self.delays.get((b, a)))
+        if value is None:
+            raise NetworkError(f"no delay between {a!r} and {b!r} in {self.name}")
+        return value
+
+    def latency_model(
+        self,
+        site_of: dict[Hashable, str],
+        jitter: float = 0.1,
+    ) -> MatrixLatency:
+        """Build a :class:`MatrixLatency` for nodes placed at sites.
+
+        ``site_of`` maps node id → site name; unknown nodes raise at
+        send time, which catches placement bugs early.
+        """
+        for node, site in site_of.items():
+            if site not in self.sites:
+                raise NetworkError(f"node {node!r} placed at unknown site {site!r}")
+        matrix: dict[tuple[str, str], float] = {}
+        for a in self.sites:
+            for b in self.sites:
+                matrix[(a, b)] = self.delay(a, b)
+        mapping = dict(site_of)
+        return MatrixLatency(matrix, site_of=lambda n: mapping[n], jitter=jitter)
+
+    def nearest_site(self, origin: str, candidates: list[str]) -> str:
+        """The candidate site with the lowest delay from ``origin``."""
+        if not candidates:
+            raise NetworkError("no candidate sites")
+        return min(candidates, key=lambda s: self.delay(origin, s))
+
+
+def symmetric_delays(
+    pairs: dict[tuple[str, str], float],
+) -> dict[tuple[str, str], float]:
+    """Mirror one-way delays both ways — the common case when building
+    a custom :class:`Topology` from published RTT tables."""
+    out = dict(pairs)
+    for (a, b), v in pairs.items():
+        out[(b, a)] = v
+    return out
+
+
+#: Backwards-compatible short alias used internally.
+_sym = symmetric_delays
+
+
+#: Single datacenter: every node ~0.5 ms from every other.
+SINGLE_DC = Topology(
+    name="single-dc",
+    sites=("dc",),
+    delays={},
+    intra_site=0.5,
+)
+
+#: Three US regions — the "cheap" geo case.
+US_TRIANGLE = Topology(
+    name="us-triangle",
+    sites=("us-east", "us-central", "us-west"),
+    delays=_sym(
+        {
+            ("us-east", "us-central"): 16.0,
+            ("us-east", "us-west"): 36.0,
+            ("us-central", "us-west"): 22.0,
+        }
+    ),
+)
+
+#: Five continents — the tutorial's worst-case wide-area deployment.
+WORLD5 = Topology(
+    name="world-5",
+    sites=("us-east", "us-west", "eu", "asia", "brazil"),
+    delays=_sym(
+        {
+            ("us-east", "us-west"): 36.0,
+            ("us-east", "eu"): 40.0,
+            ("us-east", "asia"): 110.0,
+            ("us-east", "brazil"): 60.0,
+            ("us-west", "eu"): 70.0,
+            ("us-west", "asia"): 85.0,
+            ("us-west", "brazil"): 95.0,
+            ("eu", "asia"): 120.0,
+            ("eu", "brazil"): 95.0,
+            ("asia", "brazil"): 160.0,
+        }
+    ),
+)
+
+#: Three sites, one per continent — used by the Paxos scaling experiment.
+THREE_CONTINENTS = Topology(
+    name="three-continents",
+    sites=("us-east", "eu", "asia"),
+    delays=_sym(
+        {
+            ("us-east", "eu"): 40.0,
+            ("us-east", "asia"): 110.0,
+            ("eu", "asia"): 120.0,
+        }
+    ),
+)
+
+TOPOLOGIES: dict[str, Topology] = {
+    t.name: t for t in (SINGLE_DC, US_TRIANGLE, WORLD5, THREE_CONTINENTS)
+}
+
+
+def round_robin_placement(node_ids: list, sites: tuple[str, ...]) -> dict:
+    """Assign nodes to sites round-robin — the default replica layout."""
+    return {node: sites[i % len(sites)] for i, node in enumerate(node_ids)}

@@ -1,0 +1,25 @@
+"""Consistency SLAs — declarative per-read consistency (Pileus-style)."""
+
+from .pileus import (
+    PASSWORD_CHECKING,
+    SHOPPING_CART,
+    SLA,
+    WEB_CONTENT,
+    Consistency,
+    ReadOutcome,
+    ReplicaMonitor,
+    SLAClient,
+    SubSLA,
+)
+
+__all__ = [
+    "Consistency",
+    "SubSLA",
+    "SLA",
+    "SLAClient",
+    "ReplicaMonitor",
+    "ReadOutcome",
+    "PASSWORD_CHECKING",
+    "SHOPPING_CART",
+    "WEB_CONTENT",
+]

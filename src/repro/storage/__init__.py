@@ -1,0 +1,28 @@
+"""Per-replica storage engines.
+
+Conflict handling is the storage-level axis of the tutorial's
+taxonomy: :class:`LWWStore` arbitrates, :class:`SiblingStore` keeps
+conflicts for the app, :class:`SequencedStore` prevents them with a
+single master, and :class:`MultiVersionStore` keeps committed history
+for snapshot-isolation transactions.
+"""
+
+from .mvstore import MultiVersionStore, TimestampOracle, Version
+from .versioned_store import (
+    LWWStore,
+    SequencedStore,
+    SequencedValue,
+    SiblingStore,
+    StampedValue,
+)
+
+__all__ = [
+    "LWWStore",
+    "SiblingStore",
+    "SequencedStore",
+    "SequencedValue",
+    "StampedValue",
+    "MultiVersionStore",
+    "TimestampOracle",
+    "Version",
+]

@@ -1,0 +1,143 @@
+"""Multi-version storage for snapshot-isolation transactions.
+
+Each key holds a chain of committed versions ordered by commit
+timestamp.  Readers see the latest version with ``commit_ts <=
+snapshot_ts``; writers install at their commit timestamp.  The store
+also answers the first-committer-wins question SI needs: "was this key
+committed by someone else after my snapshot?"
+
+Timestamps are plain integers handed out by a
+:class:`TimestampOracle` so tests can drive the store directly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from ..errors import StorageError
+
+
+class TimestampOracle:
+    """Monotonic commit/snapshot timestamp source."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._last = start
+
+    def next(self) -> int:
+        self._last += 1
+        return self._last
+
+    @property
+    def latest(self) -> int:
+        return self._last
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed version of a key."""
+
+    commit_ts: int
+    value: object
+    deleted: bool = False
+
+
+class MultiVersionStore:
+    """Append-only version chains per key.
+
+    >>> oracle = TimestampOracle()
+    >>> store = MultiVersionStore()
+    >>> t1 = oracle.next(); store.install("x", 1, t1)
+    >>> t2 = oracle.next(); store.install("x", 2, t2)
+    >>> store.read("x", snapshot_ts=t1)
+    1
+    >>> store.read("x", snapshot_ts=t2)
+    2
+    """
+
+    def __init__(self) -> None:
+        self._chains: dict[Hashable, list[Version]] = {}
+
+    # ------------------------------------------------------------------
+    def install(self, key: Hashable, value: object, commit_ts: int) -> None:
+        """Append a committed version.  Timestamps must be fresh per key."""
+        chain = self._chains.setdefault(key, [])
+        if chain and commit_ts <= chain[-1].commit_ts:
+            if any(v.commit_ts == commit_ts for v in chain):
+                raise StorageError(
+                    f"duplicate commit_ts {commit_ts} for key {key!r}"
+                )
+            # Out-of-order install (possible with distributed commit):
+            # insert in timestamp order to keep chains sorted.
+            index = bisect.bisect_left([v.commit_ts for v in chain], commit_ts)
+            chain.insert(index, Version(commit_ts, value))
+            return
+        chain.append(Version(commit_ts, value))
+
+    def install_delete(self, key: Hashable, commit_ts: int) -> None:
+        chain = self._chains.setdefault(key, [])
+        if chain and commit_ts <= chain[-1].commit_ts:
+            raise StorageError(f"non-monotonic delete ts for key {key!r}")
+        chain.append(Version(commit_ts, None, deleted=True))
+
+    # ------------------------------------------------------------------
+    def read(self, key: Hashable, snapshot_ts: int) -> object | None:
+        """Value visible at ``snapshot_ts`` (None if absent/deleted)."""
+        version = self.read_version(key, snapshot_ts)
+        if version is None or version.deleted:
+            return None
+        return version.value
+
+    def read_version(self, key: Hashable, snapshot_ts: int) -> Version | None:
+        chain = self._chains.get(key)
+        if not chain:
+            return None
+        timestamps = [v.commit_ts for v in chain]
+        index = bisect.bisect_right(timestamps, snapshot_ts)
+        if index == 0:
+            return None
+        return chain[index - 1]
+
+    def latest_commit_ts(self, key: Hashable) -> int:
+        """Commit timestamp of the newest version of ``key`` (0 if none)."""
+        chain = self._chains.get(key)
+        return chain[-1].commit_ts if chain else 0
+
+    def modified_since(self, key: Hashable, snapshot_ts: int) -> bool:
+        """First-committer-wins test: any version after ``snapshot_ts``?"""
+        return self.latest_commit_ts(key) > snapshot_ts
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._chains)
+
+    def chain(self, key: Hashable) -> list[Version]:
+        return list(self._chains.get(key, ()))
+
+    def vacuum(self, horizon_ts: int) -> int:
+        """Drop versions no snapshot at or after ``horizon_ts`` can see.
+
+        Keeps, per key, the newest version at or before the horizon
+        plus everything after it.  Returns versions removed.
+        """
+        removed = 0
+        for key, chain in self._chains.items():
+            timestamps = [v.commit_ts for v in chain]
+            index = bisect.bisect_right(timestamps, horizon_ts)
+            if index > 1:
+                removed += index - 1
+                self._chains[key] = chain[index - 1:]
+        return removed
+
+    def version_count(self) -> int:
+        return sum(len(chain) for chain in self._chains.values())
+
+    def snapshot(self, snapshot_ts: int) -> dict[Hashable, object]:
+        """Whole-store view at a timestamp (for checkers)."""
+        out: dict[Hashable, object] = {}
+        for key in self._chains:
+            version = self.read_version(key, snapshot_ts)
+            if version is not None and not version.deleted:
+                out[key] = version.value
+        return out

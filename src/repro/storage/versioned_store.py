@@ -1,0 +1,219 @@
+"""Per-replica storage engines for replicated key-value data.
+
+Three conflict-handling disciplines from the tutorial's taxonomy:
+
+* :class:`LWWStore` — last-writer-wins: each key holds one version,
+  stamped with a totally ordered timestamp; concurrent writes are
+  *arbitrated* (one silently loses).
+* :class:`SiblingStore` — multi-value: concurrent writes are *kept* as
+  siblings (Dynamo/Riak), using dotted version vectors; the application
+  resolves on read.
+* :class:`SequencedStore` — single-master: versions are totally ordered
+  by a sequence number assigned at the master (PNUTS timeline, primary
+  copy); no concurrency is possible by construction.
+
+All three expose ``get``/``put``/``merge_from`` so replication
+protocols can be written against a common surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from ..clocks import DottedValueSet, VectorClock
+from ..clocks.hlc import HLCStamp
+from ..clocks.lamport import LamportStamp
+
+Timestamp = LamportStamp | HLCStamp
+
+
+@dataclass(frozen=True)
+class StampedValue:
+    """A value with its arbitration timestamp (and optional tombstone)."""
+
+    value: object
+    stamp: Timestamp
+    deleted: bool = False
+
+
+class LWWStore:
+    """Last-writer-wins register per key.
+
+    The store never raises on conflict: ``put`` keeps whichever version
+    has the greater stamp.  Deletes are tombstones so they win over
+    earlier writes during anti-entropy.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[Hashable, StampedValue] = {}
+
+    def get(self, key: Hashable) -> object | None:
+        entry = self._data.get(key)
+        if entry is None or entry.deleted:
+            return None
+        return entry.value
+
+    def get_stamped(self, key: Hashable) -> StampedValue | None:
+        return self._data.get(key)
+
+    def put(self, key: Hashable, value: object, stamp: Timestamp) -> bool:
+        """Apply a write; returns True when it won (was applied)."""
+        return self._apply(key, StampedValue(value, stamp))
+
+    def delete(self, key: Hashable, stamp: Timestamp) -> bool:
+        return self._apply(key, StampedValue(None, stamp, deleted=True))
+
+    def _apply(self, key: Hashable, incoming: StampedValue) -> bool:
+        current = self._data.get(key)
+        if current is not None and not incoming.stamp > current.stamp:
+            return False
+        self._data[key] = incoming
+        return True
+
+    def merge_from(self, other: "LWWStore") -> int:
+        """Anti-entropy: pull every winning version from ``other``.
+        Returns how many keys changed."""
+        changed = 0
+        for key, entry in other._data.items():
+            if self._apply(key, entry):
+                changed += 1
+        return changed
+
+    def keys(self) -> Iterator[Hashable]:
+        return (k for k, e in self._data.items() if not e.deleted)
+
+    def items(self) -> Iterator[tuple[Hashable, object]]:
+        return ((k, e.value) for k, e in self._data.items() if not e.deleted)
+
+    def dump(self) -> dict[Hashable, StampedValue]:
+        """Full internal state incl. tombstones (for Merkle trees)."""
+        return dict(self._data)
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._data.values() if not e.deleted)
+
+    def snapshot(self) -> dict[Hashable, object]:
+        """Visible key→value mapping (used by convergence checks)."""
+        return {k: e.value for k, e in self._data.items() if not e.deleted}
+
+
+class SiblingStore:
+    """Multi-value store with dotted-version-vector sibling tracking.
+
+    ``get`` returns ``(values, context)``; a client writes back with the
+    context it read, which is how read-modify-write resolves siblings.
+    """
+
+    def __init__(self, replica: Hashable) -> None:
+        self.replica = replica
+        self._data: dict[Hashable, DottedValueSet] = {}
+
+    def get(self, key: Hashable) -> tuple[list[object], VectorClock]:
+        entry = self._data.get(key)
+        if entry is None:
+            return [], VectorClock()
+        return entry.values(), entry.context()
+
+    def put(
+        self,
+        key: Hashable,
+        value: object,
+        context: VectorClock | None = None,
+    ) -> VectorClock:
+        """Coordinate a write at this replica; returns the new context."""
+        entry = self._data.get(key, DottedValueSet())
+        updated = entry.put(self.replica, value, context or VectorClock())
+        self._data[key] = updated
+        return updated.context()
+
+    def sibling_count(self, key: Hashable) -> int:
+        entry = self._data.get(key)
+        return 0 if entry is None else len(entry.versions)
+
+    def merge_key(self, key: Hashable, remote: DottedValueSet) -> None:
+        """Merge a remote sibling set for one key (anti-entropy unit)."""
+        entry = self._data.get(key, DottedValueSet())
+        self._data[key] = entry.sync(remote)
+
+    def merge_from(self, other: "SiblingStore") -> int:
+        changed = 0
+        for key, remote in other._data.items():
+            before = self._data.get(key)
+            self.merge_key(key, remote)
+            if before is None or self._data[key].versions != before.versions:
+                changed += 1
+        return changed
+
+    def entry(self, key: Hashable) -> DottedValueSet:
+        return self._data.get(key, DottedValueSet())
+
+    def keys(self) -> Iterator[Hashable]:
+        return (k for k, e in self._data.items() if not e.is_empty())
+
+    def snapshot(self) -> dict[Hashable, tuple[object, ...]]:
+        """Key → sorted sibling tuple (order-insensitive, for
+        convergence comparison across replicas)."""
+        return {
+            k: tuple(sorted(e.values(), key=repr))
+            for k, e in self._data.items()
+            if not e.is_empty()
+        }
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._data.values() if not e.is_empty())
+
+
+@dataclass(frozen=True)
+class SequencedValue:
+    """A value with its master-assigned sequence number."""
+
+    value: object
+    seqno: int
+    deleted: bool = False
+
+
+class SequencedStore:
+    """Single-writer versioned store (PNUTS-style timeline per key).
+
+    Versions carry a per-key sequence number assigned by whoever is the
+    key's master; replicas apply versions in any arrival order but keep
+    only the highest — which is safe exactly because a single master
+    makes seqnos total per key.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[Hashable, SequencedValue] = {}
+
+    def current_seqno(self, key: Hashable) -> int:
+        entry = self._data.get(key)
+        return 0 if entry is None else entry.seqno
+
+    def get(self, key: Hashable) -> object | None:
+        entry = self._data.get(key)
+        if entry is None or entry.deleted:
+            return None
+        return entry.value
+
+    def get_versioned(self, key: Hashable) -> SequencedValue | None:
+        return self._data.get(key)
+
+    def apply(self, key: Hashable, version: SequencedValue) -> bool:
+        """Install ``version`` if it is newer than what is stored."""
+        current = self._data.get(key)
+        if current is not None and version.seqno <= current.seqno:
+            return False
+        self._data[key] = version
+        return True
+
+    def write_as_master(self, key: Hashable, value: object) -> SequencedValue:
+        """Master-side write: assign the next seqno and install."""
+        version = SequencedValue(value, self.current_seqno(key) + 1)
+        self._data[key] = version
+        return version
+
+    def snapshot(self) -> dict[Hashable, object]:
+        return {k: e.value for k, e in self._data.items() if not e.deleted}
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._data.values() if not e.deleted)

@@ -1,0 +1,46 @@
+"""Transaction-side relaxations of one-copy serializability.
+
+* :class:`LockManager` + :class:`TwoPhaseCoordinator` — the classical
+  strict-2PL + 2PC baseline.
+* :class:`SnapshotStore` — snapshot isolation and an SSI-style
+  serializable mode.
+* :class:`RedBlueBank` — RedBlue consistency (blue = commutative local
+  ops, red = globally serialized ops).
+* :class:`EscrowCounter` — escrow transactions for bounded counters,
+  with :class:`CentralCounterServer` as the coordinated baseline.
+"""
+
+from .escrow import (
+    CentralCounterClient,
+    CentralCounterServer,
+    EscrowCounter,
+    EscrowSite,
+)
+from .locks import LockManager, LockMode
+from .redblue import RedBlueBank, RedBlueSite, RedCoordinator
+from .snapshot import SnapshotStore, SnapshotTransaction, TxnStatus
+from .two_phase import (
+    Partition,
+    Transaction,
+    TwoPhaseCoordinator,
+    make_partitioned_store,
+)
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "Partition",
+    "Transaction",
+    "TwoPhaseCoordinator",
+    "make_partitioned_store",
+    "SnapshotStore",
+    "SnapshotTransaction",
+    "TxnStatus",
+    "RedBlueBank",
+    "RedBlueSite",
+    "RedCoordinator",
+    "EscrowCounter",
+    "EscrowSite",
+    "CentralCounterServer",
+    "CentralCounterClient",
+]

@@ -1,0 +1,217 @@
+"""Lock manager: strict two-phase locking with deadlock detection.
+
+The transaction-centric half of the tutorial needs a classical
+baseline; this is it.  Shared/exclusive locks per key, FIFO wait
+queues, upgrades, and waits-for-graph cycle detection that aborts the
+youngest transaction in the cycle (failing its pending lock future
+with :class:`TransactionAborted`).
+
+Lock grants are asynchronous (:class:`~repro.sim.Future`) so blocked
+transactions park on the simulator instead of busy-waiting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..errors import TransactionAborted
+from ..sim import Future, Simulator
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held: LockMode, wanted: LockMode) -> bool:
+    return held is LockMode.SHARED and wanted is LockMode.SHARED
+
+
+@dataclass
+class _Waiter:
+    txn: Hashable
+    mode: LockMode
+    future: Future
+
+
+@dataclass
+class _LockState:
+    holders: dict = field(default_factory=dict)   # txn -> LockMode
+    queue: list = field(default_factory=list)     # list[_Waiter]
+
+
+class LockManager:
+    """Per-key S/X locks with FIFO queuing and deadlock aborts."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._locks: dict[Hashable, _LockState] = {}
+        self._txn_keys: dict[Hashable, set] = {}
+        self._txn_birth: dict[Hashable, int] = {}
+        self._births = 0
+        self.deadlocks_detected = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, txn: Hashable, key: Hashable, mode: LockMode) -> Future:
+        """Request a lock; the future resolves on grant and fails with
+        :class:`TransactionAborted` if this request deadlocks."""
+        if txn not in self._txn_birth:
+            self._births += 1
+            self._txn_birth[txn] = self._births
+        state = self._locks.setdefault(key, _LockState())
+        future = Future(self.sim, label=f"lock({txn},{key},{mode.value})")
+
+        held = state.holders.get(txn)
+        if held is not None:
+            if held is mode or held is LockMode.EXCLUSIVE:
+                future.resolve(True)  # re-entrant / already stronger
+                return future
+            # Upgrade S -> X: allowed immediately iff sole holder and
+            # nothing queued ahead.
+            if len(state.holders) == 1 and not state.queue:
+                state.holders[txn] = LockMode.EXCLUSIVE
+                future.resolve(True)
+                return future
+            state.queue.append(_Waiter(txn, mode, future))
+            self._check_deadlock(key)
+            return future
+
+        if not state.queue and all(
+            _compatible(h, mode) for h in state.holders.values()
+        ):
+            state.holders[txn] = mode
+            self._txn_keys.setdefault(txn, set()).add(key)
+            future.resolve(True)
+            return future
+
+        state.queue.append(_Waiter(txn, mode, future))
+        self._check_deadlock(key)
+        return future
+
+    def release_all(self, txn: Hashable) -> None:
+        """Strict 2PL release at commit/abort time."""
+        for key in self._txn_keys.pop(txn, set()):
+            state = self._locks.get(key)
+            if state is None:
+                continue
+            state.holders.pop(txn, None)
+            self._grant_waiters(key, state)
+        # Also drop any still-queued requests from this txn.
+        for key, state in self._locks.items():
+            before = len(state.queue)
+            state.queue = [w for w in state.queue if w.txn != txn]
+            if len(state.queue) != before:
+                self._grant_waiters(key, state)
+        self._txn_birth.pop(txn, None)
+
+    def _grant_waiters(self, key: Hashable, state: _LockState) -> None:
+        progressed = True
+        while progressed and state.queue:
+            progressed = False
+            head = state.queue[0]
+            held_by_head = state.holders.get(head.txn)
+            upgrade_ok = (
+                held_by_head is LockMode.SHARED
+                and head.mode is LockMode.EXCLUSIVE
+                and len(state.holders) == 1
+            )
+            grant_ok = all(
+                _compatible(h, head.mode)
+                for t, h in state.holders.items()
+                if t != head.txn
+            ) and (held_by_head is None or upgrade_ok)
+            if grant_ok:
+                state.queue.pop(0)
+                state.holders[head.txn] = head.mode
+                self._txn_keys.setdefault(head.txn, set()).add(key)
+                head.future.try_resolve(True)
+                progressed = True
+        if not state.holders and not state.queue:
+            self._locks.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Deadlock detection
+    # ------------------------------------------------------------------
+    def _waits_for(self) -> dict[Hashable, set]:
+        graph: dict[Hashable, set] = {}
+        for state in self._locks.values():
+            for waiter in state.queue:
+                blockers = {
+                    holder
+                    for holder in state.holders
+                    if holder != waiter.txn
+                }
+                # Earlier queued incompatible requests also block.
+                for other in state.queue:
+                    if other is waiter:
+                        break
+                    if other.txn != waiter.txn:
+                        blockers.add(other.txn)
+                if blockers:
+                    graph.setdefault(waiter.txn, set()).update(blockers)
+        return graph
+
+    def _find_cycle(self) -> list | None:
+        graph = self._waits_for()
+        visited: set = set()
+        stack: list = []
+        on_stack: set = set()
+
+        def dfs(node) -> list | None:
+            visited.add(node)
+            stack.append(node)
+            on_stack.add(node)
+            for neighbor in graph.get(node, ()):
+                if neighbor not in visited:
+                    found = dfs(neighbor)
+                    if found:
+                        return found
+                elif neighbor in on_stack:
+                    return stack[stack.index(neighbor):]
+            stack.pop()
+            on_stack.discard(node)
+            return None
+
+        for node in list(graph):
+            if node not in visited:
+                cycle = dfs(node)
+                if cycle:
+                    return cycle
+        return None
+
+    def _check_deadlock(self, _key: Hashable) -> None:
+        cycle = self._find_cycle()
+        if not cycle:
+            return
+        self.deadlocks_detected += 1
+        victim = max(cycle, key=lambda t: self._txn_birth.get(t, 0))
+        self.abort_waiting(victim)
+
+    def abort_waiting(self, txn: Hashable) -> None:
+        """Fail every queued request of ``txn`` (deadlock victim)."""
+        for key, state in list(self._locks.items()):
+            remaining = []
+            for waiter in state.queue:
+                if waiter.txn == txn:
+                    waiter.future.try_fail(
+                        TransactionAborted(f"deadlock victim: {txn}")
+                    )
+                else:
+                    remaining.append(waiter)
+            if len(remaining) != len(state.queue):
+                state.queue = remaining
+                self._grant_waiters(key, state)
+
+    # ------------------------------------------------------------------
+    def held_by(self, txn: Hashable) -> set:
+        return set(self._txn_keys.get(txn, ()))
+
+    def holders_of(self, key: Hashable) -> dict:
+        state = self._locks.get(key)
+        return dict(state.holders) if state else {}
+
+    def queue_length(self, key: Hashable) -> int:
+        state = self._locks.get(key)
+        return len(state.queue) if state else 0

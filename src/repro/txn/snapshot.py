@@ -1,0 +1,155 @@
+"""Snapshot isolation (and an SSI-style serializable upgrade).
+
+The database-side relaxation the tutorial contrasts with 1SR: readers
+never block, each transaction sees the committed state as of its
+begin timestamp, and writers obey first-committer-wins.  SI admits
+write skew; ``isolation="serializable"`` adds read-set validation at
+commit (backward OCC), which removes it — both behaviors are
+exercised in the tests via the classic on-call-doctors example.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Hashable
+
+from ..errors import TransactionAborted
+from ..storage import MultiVersionStore, TimestampOracle
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class SnapshotTransaction:
+    """One transaction against a :class:`SnapshotStore`."""
+
+    def __init__(self, store: "SnapshotStore", txn_id: int, snapshot_ts: int,
+                 isolation: str) -> None:
+        self.store = store
+        self.txn_id = txn_id
+        self.snapshot_ts = snapshot_ts
+        self.isolation = isolation
+        self.status = TxnStatus.ACTIVE
+        self.write_set: dict[Hashable, Any] = {}
+        self.delete_set: set = set()
+        self.read_set: set = set()
+
+    # ------------------------------------------------------------------
+    def read(self, key: Hashable) -> Any:
+        self._require_active()
+        self.read_set.add(key)
+        if key in self.delete_set:
+            return None
+        if key in self.write_set:
+            return self.write_set[key]
+        return self.store.mv.read(key, self.snapshot_ts)
+
+    def write(self, key: Hashable, value: Any) -> None:
+        self._require_active()
+        self.delete_set.discard(key)
+        self.write_set[key] = value
+
+    def delete(self, key: Hashable) -> None:
+        self._require_active()
+        self.write_set.pop(key, None)
+        self.delete_set.add(key)
+
+    # ------------------------------------------------------------------
+    def commit(self) -> int:
+        """First-committer-wins validation, then install.  Returns the
+        commit timestamp.  Raises :class:`TransactionAborted` on
+        conflict."""
+        self._require_active()
+        conflicts = [
+            key
+            for key in (set(self.write_set) | self.delete_set)
+            if self.store.mv.modified_since(key, self.snapshot_ts)
+        ]
+        if conflicts:
+            self.status = TxnStatus.ABORTED
+            self.store.aborts_ww += 1
+            raise TransactionAborted(
+                f"write-write conflict on {sorted(map(repr, conflicts))}"
+            )
+        if self.isolation == "serializable":
+            stale_reads = [
+                key
+                for key in self.read_set - set(self.write_set) - self.delete_set
+                if self.store.mv.modified_since(key, self.snapshot_ts)
+            ]
+            if stale_reads:
+                self.status = TxnStatus.ABORTED
+                self.store.aborts_rw += 1
+                raise TransactionAborted(
+                    f"read-write conflict on {sorted(map(repr, stale_reads))}"
+                )
+        commit_ts = self.store.oracle.next()
+        for key, value in self.write_set.items():
+            self.store.mv.install(key, value, commit_ts)
+        for key in self.delete_set:
+            self.store.mv.install_delete(key, commit_ts)
+        self.status = TxnStatus.COMMITTED
+        self.store.commits += 1
+        return commit_ts
+
+    def abort(self) -> None:
+        if self.status is TxnStatus.ACTIVE:
+            self.status = TxnStatus.ABORTED
+            self.store.voluntary_aborts += 1
+
+    def _require_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise TransactionAborted(f"transaction is {self.status.value}")
+
+
+class SnapshotStore:
+    """A multi-version store with SI / SSI-lite transactions.
+
+    >>> store = SnapshotStore()
+    >>> t = store.begin()
+    >>> t.write("x", 1)
+    >>> _ = t.commit()
+    >>> store.begin().read("x")
+    1
+    """
+
+    def __init__(self, isolation: str = "si") -> None:
+        if isolation not in ("si", "serializable"):
+            raise ValueError("isolation must be 'si' or 'serializable'")
+        self.isolation = isolation
+        self.mv = MultiVersionStore()
+        self.oracle = TimestampOracle()
+        self._txn_ids = 0
+        self.commits = 0
+        self.aborts_ww = 0
+        self.aborts_rw = 0
+        self.voluntary_aborts = 0
+
+    def begin(self, isolation: str | None = None) -> SnapshotTransaction:
+        self._txn_ids += 1
+        return SnapshotTransaction(
+            self,
+            self._txn_ids,
+            snapshot_ts=self.oracle.latest,
+            isolation=isolation or self.isolation,
+        )
+
+    def read_committed(self, key: Hashable) -> Any:
+        """Auto-commit read of the latest committed version."""
+        return self.mv.read(key, self.oracle.latest)
+
+    def vacuum(self) -> int:
+        """Garbage-collect versions below the current horizon (no
+        active-transaction tracking here: callers pick quiescent
+        points, as the tests do)."""
+        return self.mv.vacuum(self.oracle.latest)
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.commits + self.aborts_ww + self.aborts_rw
+        if total == 0:
+            return 0.0
+        return (self.aborts_ww + self.aborts_rw) / total

@@ -1,0 +1,272 @@
+"""Distributed strict 2PL + two-phase commit over partitions.
+
+The classical strong-consistency baseline for the transaction
+experiments: data is hash-partitioned across :class:`Partition`
+server nodes, each with its own :class:`~repro.txn.locks.LockManager`;
+a :class:`TwoPhaseCoordinator` runs interactive transactions that lock
+as they touch data and commit with prepare/commit rounds.  Every lock
+and every commit phase pays real (simulated) network latency — the
+cost RedBlue and escrow then avoid for their commutative fractions.
+
+Local deadlocks are detected by each partition's lock manager;
+*distributed* deadlocks (cycles spanning partitions) are broken by a
+lock-wait timeout, as most production systems do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..errors import TransactionAborted
+from ..sim import Future, Network, Simulator, spawn
+from .locks import LockManager, LockMode
+from ..replication.common import ClientNode, ServerNode
+from ..replication.ring import stable_hash
+
+
+@dataclass
+class AcquireRead:
+    txn: Hashable
+    key: Hashable
+
+
+@dataclass
+class AcquireWrite:
+    txn: Hashable
+    key: Hashable
+
+
+@dataclass
+class PrepareTxn:
+    txn: Hashable
+    writes: dict
+
+
+@dataclass
+class CommitTxn:
+    txn: Hashable
+
+
+@dataclass
+class AbortTxn:
+    txn: Hashable
+
+
+class Partition(ServerNode):
+    """One shard: storage + lock manager + prepared-write buffers."""
+
+    def __init__(self, sim: Simulator, network: Network, node_id: Hashable,
+                 lock_timeout: float = 500.0) -> None:
+        super().__init__(sim, network, node_id)
+        self.locks = LockManager(sim)
+        self.data: dict[Hashable, Any] = {}
+        self.prepared: dict[Hashable, dict] = {}
+        self.lock_timeout = lock_timeout
+
+    def _locked(self, txn: Hashable, key: Hashable, mode: LockMode) -> Future:
+        grant = self.locks.acquire(txn, key, mode)
+        if grant.done:
+            return grant
+        # Lock-wait timeout: breaks distributed deadlocks.
+        self.set_timer(
+            self.lock_timeout,
+            lambda: grant.try_fail(
+                TransactionAborted(f"lock wait timeout for {txn} on {key!r}")
+            ),
+        )
+        return grant
+
+    def serve_AcquireRead(self, src: Hashable, payload: AcquireRead) -> Future:
+        result = Future(self.sim)
+
+        def granted(grant: Future) -> None:
+            if grant.error is not None:
+                result.try_fail(grant.error)
+            else:
+                result.try_resolve(self.data.get(payload.key))
+
+        self._locked(payload.txn, payload.key, LockMode.SHARED).add_callback(
+            granted
+        )
+        return result
+
+    def serve_AcquireWrite(self, src: Hashable, payload: AcquireWrite) -> Future:
+        result = Future(self.sim)
+
+        def granted(grant: Future) -> None:
+            if grant.error is not None:
+                result.try_fail(grant.error)
+            else:
+                result.try_resolve(True)
+
+        self._locked(payload.txn, payload.key, LockMode.EXCLUSIVE).add_callback(
+            granted
+        )
+        return result
+
+    def serve_PrepareTxn(self, src: Hashable, payload: PrepareTxn) -> bool:
+        # Locks are already held (2PL), data is valid: vote yes and
+        # stage the writes durably.
+        self.prepared[payload.txn] = dict(payload.writes)
+        return True
+
+    def serve_CommitTxn(self, src: Hashable, payload: CommitTxn) -> bool:
+        writes = self.prepared.pop(payload.txn, {})
+        self.data.update(writes)
+        self.locks.release_all(payload.txn)
+        return True
+
+    def serve_AbortTxn(self, src: Hashable, payload: AbortTxn) -> bool:
+        self.prepared.pop(payload.txn, None)
+        self.locks.release_all(payload.txn)
+        return True
+
+
+class Transaction:
+    """Interactive transaction handle used inside spawn() processes."""
+
+    def __init__(self, coordinator: "TwoPhaseCoordinator", txn_id: str) -> None:
+        self.coordinator = coordinator
+        self.txn_id = txn_id
+        self.write_buffer: dict[Hashable, dict[Hashable, Any]] = {}
+        self.touched: set[Hashable] = set()
+        self.finished = False
+
+    def read(self, key: Hashable) -> Future:
+        partition = self.coordinator.partition_of(key)
+        self.touched.add(partition)
+        buffered = self.write_buffer.get(partition, {})
+        if key in buffered:
+            future = Future(self.coordinator.sim)
+            future.resolve(buffered[key])
+            return future
+        return self.coordinator.request(partition, AcquireRead(self.txn_id, key))
+
+    def write(self, key: Hashable, value: Any) -> Future:
+        """Acquires the X lock now; the value installs at commit."""
+        partition = self.coordinator.partition_of(key)
+        self.touched.add(partition)
+        inner = self.coordinator.request(
+            partition, AcquireWrite(self.txn_id, key)
+        )
+        outer = Future(self.coordinator.sim)
+
+        def locked(future: Future) -> None:
+            if future.error is not None:
+                outer.fail(future.error)
+                return
+            self.write_buffer.setdefault(partition, {})[key] = value
+            outer.resolve(True)
+
+        inner.add_callback(locked)
+        return outer
+
+    def commit(self) -> Future:
+        """Two-phase commit across the touched partitions."""
+        return spawn(
+            self.coordinator.sim, self._commit_script(), name=f"{self.txn_id}-commit"
+        ).completion
+
+    def _commit_script(self):
+        self.finished = True
+        coordinator = self.coordinator
+        participants = sorted(self.touched, key=str)
+        votes = []
+        for partition in participants:
+            writes = self.write_buffer.get(partition, {})
+            votes.append(
+                coordinator.request(partition, PrepareTxn(self.txn_id, writes))
+            )
+        try:
+            yield votes
+        except TransactionAborted:
+            yield from self._abort_script(participants)
+            raise
+        acks = [
+            coordinator.request(partition, CommitTxn(self.txn_id))
+            for partition in participants
+        ]
+        yield acks
+        coordinator.commits += 1
+        return True
+
+    def abort(self) -> Future:
+        return spawn(
+            self.coordinator.sim,
+            self._abort_script(sorted(self.touched, key=str)),
+            name=f"{self.txn_id}-abort",
+        ).completion
+
+    def _abort_script(self, participants):
+        self.finished = True
+        acks = [
+            self.coordinator.request(partition, AbortTxn(self.txn_id))
+            for partition in participants
+        ]
+        if acks:
+            yield acks
+        self.coordinator.aborts += 1
+
+
+class TwoPhaseCoordinator(ClientNode):
+    """Client-side coordinator: opens transactions, runs 2PC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: Hashable,
+        partitions: list[Partition],
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self.partitions = partitions
+        self._txn_count = 0
+        self.commits = 0
+        self.aborts = 0
+
+    def partition_of(self, key: Hashable) -> Hashable:
+        index = stable_hash(key) % len(self.partitions)
+        return self.partitions[index].node_id
+
+    def begin(self) -> Transaction:
+        self._txn_count += 1
+        return Transaction(self, f"{self.node_id}-t{self._txn_count}")
+
+    def run(self, body) -> Future:
+        """Run ``body(txn)`` (a generator function) as a transaction:
+        commit on normal return, abort+re-raise on exception.  The
+        returned future resolves with the body's return value."""
+        txn = self.begin()
+        outer = Future(self.sim, label=f"{txn.txn_id}-run")
+
+        def script():
+            try:
+                result = yield from body(txn)
+            except Exception as exc:  # noqa: BLE001 - abort then surface
+                if not txn.finished:
+                    yield txn.abort()
+                outer.fail(exc)
+                return
+            try:
+                yield txn.commit()
+            except TransactionAborted as exc:
+                outer.fail(exc)
+                return
+            outer.resolve(result)
+
+        spawn(self.sim, script(), name=f"{txn.txn_id}-body")
+        return outer
+
+
+def make_partitioned_store(
+    sim: Simulator,
+    network: Network,
+    partitions: int = 4,
+    lock_timeout: float = 500.0,
+) -> list[Partition]:
+    """Convenience factory for a bank of partitions."""
+    return [
+        Partition(sim, network, f"part{i}", lock_timeout=lock_timeout)
+        for i in range(partitions)
+    ]

@@ -1,0 +1,30 @@
+"""Workload generators: YCSB mixes, carts, bank ops, key distributions."""
+
+from .bank import BankOp, BankWorkload, DebitOp, DebitWorkload
+from .cart import CartOp, CartWorkload
+from .keyspace import (
+    HotspotKeys,
+    LatestKeys,
+    UniformKeys,
+    ZipfianKeys,
+    make_chooser,
+)
+from .ycsb import PRESETS, MixSpec, OpSpec, YCSBWorkload
+
+__all__ = [
+    "UniformKeys",
+    "ZipfianKeys",
+    "LatestKeys",
+    "HotspotKeys",
+    "make_chooser",
+    "YCSBWorkload",
+    "MixSpec",
+    "OpSpec",
+    "PRESETS",
+    "CartWorkload",
+    "CartOp",
+    "BankWorkload",
+    "BankOp",
+    "DebitWorkload",
+    "DebitOp",
+]

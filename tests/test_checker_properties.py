@@ -1,0 +1,164 @@
+"""Property tests for the checkers themselves.
+
+A checker is only as good as its own soundness: histories that are
+X-consistent *by construction* must pass the X checker, and histories
+with an injected X-violation must fail it.  Hypothesis generates both
+sides.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkers import (
+    check_causal,
+    check_linearizability,
+    check_monotonic_reads,
+    check_read_your_writes,
+    check_sequential,
+)
+from repro.histories import History, make_read, make_write
+
+
+# ----------------------------------------------------------------------
+# Constructive generators
+# ----------------------------------------------------------------------
+
+def atomic_register_history(script, keys=2):
+    """Execute ``script`` (list of (session, kind, key_index)) against
+    a perfect atomic register, ops strictly sequential in time.
+    By construction the result is linearizable (hence sequential,
+    causal, and session-clean)."""
+    state = {f"k{i}": 0 for i in range(keys)}
+    counters = {f"k{i}": 0 for i in range(keys)}
+    ops = []
+    t = 0.0
+    for session_index, kind, key_index in script:
+        key = f"k{key_index % keys}"
+        session = f"s{session_index % 3}"
+        if kind == 0:
+            counters[key] += 1
+            state[key] = counters[key]
+            ops.append(make_write(key, counters[key], session=session,
+                                  start=t, end=t + 1.0))
+        else:
+            ops.append(make_read(key, state[key], session=session,
+                                 start=t, end=t + 1.0))
+        t += 2.0
+    return History(ops)
+
+
+script_st = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 1), st.integers(0, 1)),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(script=script_st)
+@settings(max_examples=60, deadline=None)
+def test_atomic_history_passes_every_checker(script):
+    history = atomic_register_history(script)
+    assert check_linearizability(history).ok
+    assert check_sequential(history).ok
+    assert check_causal(history).ok
+    assert check_read_your_writes(history).ok
+    assert check_monotonic_reads(history).ok
+
+
+@given(script=script_st, seed=st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_stale_read_injection_caught_by_linearizability(script, seed):
+    """Rewriting one read to an *older* version (when a strictly newer
+    write completed before the read began) must break linearizability."""
+    history = atomic_register_history(script)
+    rng = random.Random(seed)
+    candidates = [
+        (index, op)
+        for index, op in enumerate(history)
+        if op.is_read and op.version >= 1
+    ]
+    if not candidates:
+        return  # nothing to corrupt in this script
+    index, victim = rng.choice(candidates)
+    corrupted_ops = list(history)
+    corrupted_ops[index] = make_read(
+        victim.key, victim.version - 1, session=victim.session,
+        start=victim.start, end=victim.end,
+    )
+    corrupted = History(corrupted_ops)
+    assert not check_linearizability(corrupted).ok
+
+
+@given(script=script_st, seed=st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_ryw_injection_caught(script, seed):
+    """Lowering a read below the session's own preceding write must
+    trip the RYW checker."""
+    history = atomic_register_history(script)
+    rng = random.Random(seed)
+    # Find a read preceded (in its session) by a write to the same key.
+    candidates = []
+    for session in history.sessions:
+        seen_write: dict = {}
+        for op in history.by_session(session):
+            if op.is_write:
+                seen_write[op.key] = op.version
+            elif op.key in seen_write and seen_write[op.key] >= 1:
+                candidates.append(op)
+    if not candidates:
+        return
+    victim = rng.choice(candidates)
+    corrupted_ops = [
+        make_read(op.key, 0, session=op.session, start=op.start, end=op.end)
+        if op.op_id == victim.op_id
+        else op
+        for op in history
+    ]
+    assert not check_read_your_writes(History(corrupted_ops)).ok
+
+
+@given(script=script_st)
+@settings(max_examples=40, deadline=None)
+def test_reordering_responses_never_unbreaks_sequential(script):
+    """Sequential consistency ignores real time: shifting every op's
+    wall-clock interval (keeping per-session order) must not change
+    the verdict of a passing history."""
+    history = atomic_register_history(script)
+    assert check_sequential(history).ok
+    # Compress each session onto its own disjoint time range — wildly
+    # different real-time interleaving, same program orders.
+    shifted = []
+    for lane, session in enumerate(history.sessions):
+        for position, op in enumerate(history.by_session(session)):
+            t = lane * 10_000.0 + position * 2.0
+            maker = make_write if op.is_write else make_read
+            shifted.append(
+                maker(op.key, op.version, session=op.session,
+                      start=t, end=t + 1.0)
+            )
+    assert check_sequential(History(shifted)).ok
+
+
+@given(
+    reads=st.integers(1, 6),
+    lag_versions=st.integers(1, 4),
+)
+@settings(max_examples=40, deadline=None)
+def test_monotonic_reads_detects_any_backslide(reads, lag_versions):
+    ops = [make_write("k", v, session="w", start=v, end=v + 0.5)
+           for v in range(1, reads + lag_versions + 2)]
+    t = 100.0
+    # Ascending reads, then one backslide.
+    for v in range(1, reads + 1):
+        ops.append(make_read("k", v, session="r", start=t, end=t + 1))
+        t += 2.0
+    backslide_version = max(1, reads - lag_versions)
+    ops.append(make_read("k", backslide_version, session="r",
+                         start=t, end=t + 1))
+    verdict = check_monotonic_reads(History(ops))
+    if backslide_version < reads:
+        assert not verdict.ok
+    else:  # clamped to the first version: no actual backslide
+        assert verdict.ok

@@ -1,0 +1,152 @@
+"""Tests for staleness metrics and convergence checking."""
+
+import pytest
+
+from repro.checkers import (
+    check_bounded_staleness,
+    check_convergence,
+    divergence,
+    measure_staleness,
+    stale_keys,
+    stale_read_fraction,
+    staleness_distribution,
+)
+from repro.clocks import LamportClock
+from repro.histories import History, make_read, make_write
+from repro.storage import LWWStore
+
+
+# ----------------------------------------------------------------------
+# Staleness
+# ----------------------------------------------------------------------
+
+def three_version_history(read_version):
+    return History([
+        make_write("k", 1, start=0, end=1),
+        make_write("k", 2, start=2, end=3),
+        make_write("k", 3, start=4, end=5),
+        make_read("k", read_version, start=10, end=11),
+    ])
+
+
+def test_fresh_read_zero_staleness():
+    measurements = measure_staleness(three_version_history(3))
+    assert len(measurements) == 1
+    m = measurements[0]
+    assert m.fresh and m.versions_behind == 0 and m.time_behind == 0.0
+
+
+def test_stale_read_counts_versions_behind():
+    m = measure_staleness(three_version_history(1))[0]
+    assert m.versions_behind == 2
+    # v1 was first superseded when v2 committed at t=3; read began at 10.
+    assert m.time_behind == pytest.approx(7.0)
+
+
+def test_read_of_unborn_key_is_fresh_when_no_writes():
+    h = History([make_read("k", 0, start=1, end=2)])
+    assert measure_staleness(h)[0].fresh
+
+
+def test_concurrent_write_does_not_count_as_missed():
+    h = History([
+        make_write("k", 1, start=0, end=5),
+        make_read("k", 0, start=2, end=3),  # write still in flight
+    ])
+    assert measure_staleness(h)[0].fresh
+
+
+def test_stale_read_fraction_and_distribution():
+    h = History([
+        make_write("k", 1, start=0, end=1),
+        make_read("k", 1, start=2, end=3),
+        make_read("k", 0, start=4, end=5),
+        make_read("k", 1, start=6, end=7),
+    ])
+    assert stale_read_fraction(h) == pytest.approx(1 / 3)
+    assert staleness_distribution(h) == {0: 2, 1: 1}
+    assert stale_read_fraction(History()) == 0.0
+
+
+def test_bounded_staleness_k_bound():
+    verdict = check_bounded_staleness(three_version_history(1), max_versions=1)
+    assert verdict.violation_count == 1
+    assert check_bounded_staleness(
+        three_version_history(2), max_versions=1
+    ).ok
+
+
+def test_bounded_staleness_t_bound():
+    verdict = check_bounded_staleness(three_version_history(1), max_time=5.0)
+    assert not verdict.ok
+    assert check_bounded_staleness(
+        three_version_history(1), max_time=10.0
+    ).ok
+
+
+def test_bounded_staleness_requires_a_bound():
+    with pytest.raises(ValueError):
+        check_bounded_staleness(History())
+
+
+# ----------------------------------------------------------------------
+# Convergence
+# ----------------------------------------------------------------------
+
+def make_store(items):
+    clock = LamportClock("seed")
+    store = LWWStore()
+    for key, value in items.items():
+        store.put(key, value, clock.tick())
+    return store
+
+
+def test_convergence_identical_stores():
+    a = make_store({"x": 1, "y": 2})
+    b = make_store({"x": 1, "y": 2})
+    assert check_convergence([a, b]).ok
+    assert divergence([a, b]) == 0.0
+
+
+def test_convergence_detects_value_mismatch():
+    a = make_store({"x": 1})
+    b = make_store({"x": 2})
+    verdict = check_convergence([a, b])
+    assert not verdict.ok
+    assert "disagree" in str(verdict.violations[0])
+
+
+def test_convergence_detects_missing_key():
+    a = make_store({"x": 1, "y": 2})
+    b = make_store({"x": 1})
+    assert not check_convergence([a, b]).ok
+    assert stale_keys(a, b) == {"y"}
+
+
+def test_convergence_accepts_plain_dicts():
+    assert check_convergence([{"x": 1}, {"x": 1}]).ok
+    assert not check_convergence([{"x": 1}, {}]).ok
+
+
+def test_convergence_empty_and_single_replica():
+    assert check_convergence([]).ok
+    assert check_convergence([make_store({"x": 1})]).ok
+    assert divergence([make_store({"x": 1})]) == 0.0
+
+
+def test_divergence_fraction():
+    a = {"x": 1, "y": 2}
+    b = {"x": 1, "y": 3}
+    assert divergence([a, b]) == pytest.approx(0.5)
+    c = {"x": 9, "y": 9}
+    # pairs: (a,b): y differs; (a,c): both; (b,c): both -> 5/6
+    assert divergence([a, b, c]) == pytest.approx(5 / 6)
+
+
+def test_divergence_no_keys():
+    assert divergence([{}, {}]) == 0.0
+
+
+def test_convergence_rejects_unsupported_type():
+    with pytest.raises(TypeError):
+        check_convergence([42, 43])

@@ -1,0 +1,233 @@
+"""Property-based tests: semilattice laws + convergence for all CRDTs.
+
+Every state-based CRDT must satisfy, up to observable value:
+
+* commutativity   merge(a, b) == merge(b, a)
+* associativity   merge(merge(a, b), c) == merge(a, merge(b, c))
+* idempotence     merge(a, a) == a
+* inflation       merging never un-learns (checked via convergence)
+
+plus the headline theorem: replicas applying arbitrary local ops and
+exchanging states in an arbitrary (fair) order converge.
+
+The harness is generic: each CRDT type registers a factory and an op
+interpreter, and hypothesis drives random op sequences + merge orders.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crdt import (
+    RGA,
+    DeltaGCounter,
+    DeltaORSet,
+    GCounter,
+    GSet,
+    LWWElementSet,
+    LWWMap,
+    LWWRegister,
+    MVRegister,
+    ORMap,
+    ORSet,
+    PNCounter,
+    TwoPSet,
+)
+
+REPLICAS = ("r1", "r2", "r3")
+
+
+def _apply_counter(crdt, op):
+    kind, arg = op
+    if kind == 0:
+        crdt.increment(arg % 5 + 1)
+    elif hasattr(crdt, "decrement"):
+        crdt.decrement(arg % 3 + 1)
+    else:
+        crdt.increment(arg % 7 + 1)
+
+
+def _apply_register(crdt, op):
+    _kind, arg = op
+    crdt.assign(f"v{arg % 10}")
+
+
+def _apply_set(crdt, op):
+    kind, arg = op
+    element = f"e{arg % 6}"
+    if kind == 0 or not hasattr(crdt, "remove"):
+        crdt.add(element)
+    else:
+        crdt.remove(element)
+
+
+def _apply_lww_map(crdt, op):
+    kind, arg = op
+    key = f"k{arg % 4}"
+    if kind == 0:
+        crdt.put(key, arg)
+    else:
+        crdt.delete(key)
+
+
+def _apply_ormap(crdt, op):
+    kind, arg = op
+    key = f"k{arg % 4}"
+    if kind == 0:
+        crdt.update(key, lambda c: c.increment(arg % 3 + 1))
+    else:
+        crdt.remove(key)
+
+
+def _apply_rga(crdt, op):
+    kind, arg = op
+    if kind == 0 or len(crdt) == 0:
+        crdt.insert(arg % (len(crdt) + 1), f"c{arg % 10}")
+    else:
+        crdt.delete(arg % len(crdt))
+
+
+CRDT_SPECS = {
+    "GCounter": (GCounter, _apply_counter),
+    "PNCounter": (PNCounter, _apply_counter),
+    "LWWRegister": (LWWRegister, _apply_register),
+    "MVRegister": (MVRegister, _apply_register),
+    "GSet": (GSet, _apply_set),
+    "TwoPSet": (TwoPSet, _apply_set),
+    "ORSet": (ORSet, _apply_set),
+    "LWWElementSet": (LWWElementSet, _apply_set),
+    "LWWMap": (LWWMap, _apply_lww_map),
+    "ORMap": (lambda r: ORMap(r, PNCounter), _apply_ormap),
+    "RGA": (RGA, _apply_rga),
+    "DeltaGCounter": (DeltaGCounter, _apply_counter),
+    "DeltaORSet": (DeltaORSet, _apply_set),
+}
+
+
+def observed(crdt):
+    """Observable value, normalized for comparison."""
+    value = crdt.value
+    if isinstance(value, list):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items(), key=lambda kv: repr(kv)))
+    return value
+
+
+ops_st = st.lists(
+    st.tuples(st.integers(0, 1), st.integers(0, 30)), min_size=0, max_size=8
+)
+
+
+def build(spec_name, replica, ops):
+    factory, interpreter = CRDT_SPECS[spec_name]
+    crdt = factory(replica)
+    for op in ops:
+        interpreter(crdt, op)
+    return crdt
+
+
+@pytest.mark.parametrize("spec_name", sorted(CRDT_SPECS))
+@given(ops_a=ops_st, ops_b=ops_st)
+@settings(max_examples=40, deadline=None)
+def test_merge_commutative(spec_name, ops_a, ops_b):
+    a1 = build(spec_name, "r1", ops_a)
+    b1 = build(spec_name, "r2", ops_b)
+    a2 = build(spec_name, "r1", ops_a)
+    b2 = build(spec_name, "r2", ops_b)
+    left = a1.merge(b1)
+    right = b2.merge(a2)
+    assert observed(left) == observed(right)
+
+
+@pytest.mark.parametrize("spec_name", sorted(CRDT_SPECS))
+@given(ops_a=ops_st, ops_b=ops_st, ops_c=ops_st)
+@settings(max_examples=25, deadline=None)
+def test_merge_associative(spec_name, ops_a, ops_b, ops_c):
+    def fresh():
+        return (
+            build(spec_name, "r1", ops_a),
+            build(spec_name, "r2", ops_b),
+            build(spec_name, "r3", ops_c),
+        )
+
+    a1, b1, c1 = fresh()
+    left = a1.merge(b1).merge(c1)
+    a2, b2, c2 = fresh()
+    right = a2.merge(b2.merge(c2))
+    assert observed(left) == observed(right)
+
+
+@pytest.mark.parametrize("spec_name", sorted(CRDT_SPECS))
+@given(ops=ops_st)
+@settings(max_examples=40, deadline=None)
+def test_merge_idempotent(spec_name, ops):
+    a = build(spec_name, "r1", ops)
+    before = observed(a)
+    a.merge(build(spec_name, "r1", ops))  # identical twin
+    assert observed(a) == before
+    a.merge(a.copy())  # self-merge
+    assert observed(a) == before
+
+
+@pytest.mark.parametrize("spec_name", sorted(CRDT_SPECS))
+@given(
+    per_replica=st.tuples(ops_st, ops_st, ops_st),
+    merge_schedule=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2)), max_size=10
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_convergence_under_arbitrary_gossip(spec_name, per_replica, merge_schedule):
+    """Random ops at 3 replicas + random partial gossip, then a full
+    exchange ⇒ all replicas observe the same value."""
+    replicas = [
+        build(spec_name, REPLICAS[i], per_replica[i]) for i in range(3)
+    ]
+    for dst, src in merge_schedule:
+        if dst != src:
+            replicas[dst].merge(replicas[src].copy())
+    # Final full anti-entropy round (twice, to reach the fixpoint).
+    for _round in range(2):
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    replicas[i].merge(replicas[j].copy())
+    values = {observed(r) for r in replicas}
+    assert len(values) == 1
+
+
+@pytest.mark.parametrize("spec_name", sorted(CRDT_SPECS))
+def test_state_is_plain_data(spec_name):
+    """state() must be JSON-ish plain data (for wire-size accounting)."""
+    crdt = build(spec_name, "r1", [(0, 1), (1, 2), (0, 3)])
+
+    def check(obj):
+        if obj is None or isinstance(obj, (bool, int, float, str)):
+            return
+        if isinstance(obj, (list, tuple, set, frozenset)):
+            for item in obj:
+                check(item)
+            return
+        if isinstance(obj, dict):
+            for key, val in obj.items():
+                check(key)
+                check(val)
+            return
+        raise AssertionError(f"non-plain state component: {obj!r}")
+
+    check(crdt.state())
+
+
+@pytest.mark.parametrize("spec_name", sorted(CRDT_SPECS))
+def test_copy_is_independent(spec_name):
+    original = build(spec_name, "r1", [(0, 1)])
+    clone = original.copy()
+    snapshot = observed(clone)
+    _factory, interpreter = CRDT_SPECS[spec_name]
+    interpreter(original, (0, 9))
+    interpreter(original, (0, 17))
+    # The clone must not see mutations applied to the original.
+    assert observed(clone) == snapshot
+    clone.merge(original)
+    assert observed(clone) == observed(original)

@@ -1,0 +1,183 @@
+"""Tests for op-based CRDTs and the causal delivery buffer."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crdt import CausalBuffer, OpCounter, OpEnvelope, OpORSet
+
+
+def broadcast(source, targets, envelope):
+    for target in targets:
+        if target is not source:
+            target.receive(envelope)
+
+
+# ----------------------------------------------------------------------
+# CausalBuffer
+# ----------------------------------------------------------------------
+
+def test_buffer_delivers_in_order():
+    log = []
+    sender = CausalBuffer("s", lambda e: None)
+    receiver = CausalBuffer("r", lambda e: log.append(e.payload))
+    e1 = sender.stamp_local("one")
+    e2 = sender.stamp_local("two")
+    receiver.receive(e1)
+    receiver.receive(e2)
+    assert log == ["one", "two"]
+    assert receiver.delivered == 2
+
+
+def test_buffer_holds_back_early_op():
+    log = []
+    sender = CausalBuffer("s", lambda e: None)
+    receiver = CausalBuffer("r", lambda e: log.append(e.payload))
+    e1 = sender.stamp_local("one")
+    e2 = sender.stamp_local("two")
+    receiver.receive(e2)  # arrives first
+    assert log == []
+    assert receiver.pending_count == 1
+    assert receiver.held_back == 1
+    receiver.receive(e1)
+    assert log == ["one", "two"]
+    assert receiver.pending_count == 0
+
+
+def test_buffer_deduplicates():
+    log = []
+    sender = CausalBuffer("s", lambda e: None)
+    receiver = CausalBuffer("r", lambda e: log.append(e.payload))
+    e1 = sender.stamp_local("x")
+    receiver.receive(e1)
+    receiver.receive(e1)
+    receiver.receive(e1)
+    assert log == ["x"]
+    assert receiver.duplicates == 2
+
+
+def test_buffer_transitive_causality():
+    # b's op depends on a's op; c receives b's first and must wait.
+    log = []
+    a = CausalBuffer("a", lambda e: None)
+    b = CausalBuffer("b", lambda e: None)
+    c = CausalBuffer("c", lambda e: log.append(e.payload))
+    ea = a.stamp_local("from-a")
+    b.receive(ea)
+    eb = b.stamp_local("from-b")  # causally after ea
+    c.receive(eb)
+    assert log == []  # held: depends on ea
+    c.receive(ea)
+    assert log == ["from-a", "from-b"]
+
+
+def test_buffer_duplicate_in_pending_queue_dropped():
+    log = []
+    sender = CausalBuffer("s", lambda e: None)
+    receiver = CausalBuffer("r", lambda e: log.append(e.payload))
+    e1 = sender.stamp_local("one")
+    e2 = sender.stamp_local("two")
+    receiver.receive(e2)
+    receiver.receive(e2)  # duplicate while pending
+    receiver.receive(e1)
+    assert log == ["one", "two"]
+
+
+# ----------------------------------------------------------------------
+# OpCounter
+# ----------------------------------------------------------------------
+
+def test_op_counter_converges():
+    a, b, c = OpCounter("a"), OpCounter("b"), OpCounter("c")
+    nodes = [a, b, c]
+    broadcast(a, nodes, a.increment(5))
+    broadcast(b, nodes, b.decrement(2))
+    broadcast(c, nodes, c.increment(1))
+    assert a.value == b.value == c.value == 4
+
+
+def test_op_counter_tolerates_duplicates_and_reordering():
+    a, b = OpCounter("a"), OpCounter("b")
+    e1 = a.increment(1)
+    e2 = a.increment(10)
+    b.receive(e2)
+    b.receive(e1)
+    b.receive(e2)
+    b.receive(e1)
+    assert b.value == 11
+
+
+# ----------------------------------------------------------------------
+# OpORSet
+# ----------------------------------------------------------------------
+
+def test_op_orset_add_then_remove():
+    a, b = OpORSet("a"), OpORSet("b")
+    nodes = [a, b]
+    broadcast(a, nodes, a.add("x"))
+    assert "x" in b
+    broadcast(b, nodes, b.remove("x"))
+    assert "x" not in a and "x" not in b
+
+
+def test_op_orset_remove_reordered_before_add_still_correct():
+    a, b = OpORSet("a"), OpORSet("b")
+    e_add = a.add("x")
+    # a removes its own add; remove causally follows the add.
+    e_rem = a.remove("x")
+    b.receive(e_rem)  # arrives first; must be held back
+    assert "x" not in b and b.buffer.pending_count == 1
+    b.receive(e_add)
+    assert "x" not in b
+    assert b.buffer.pending_count == 0
+
+
+def test_op_orset_concurrent_add_wins():
+    a, b = OpORSet("a"), OpORSet("b")
+    e_add_a = a.add("x")
+    b.receive(e_add_a)
+    e_rem = b.remove("x")       # saw only a's first add
+    e_add2 = a.add("x")         # concurrent second add
+    a.receive(e_rem)
+    b.receive(e_add2)
+    assert "x" in a and "x" in b
+    assert a.value == b.value == frozenset({"x"})
+
+
+@given(
+    script=st.lists(
+        st.tuples(
+            st.integers(0, 2),            # acting replica
+            st.integers(0, 1),            # 0=add 1=remove
+            st.integers(0, 4),            # element
+        ),
+        max_size=24,
+    ),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_op_orset_converges_under_random_delivery(script, seed):
+    """Ops broadcast with random per-receiver delays/duplication still
+    converge once everything is delivered (causal buffer reorders)."""
+    rng = random.Random(seed)
+    replicas = [OpORSet(f"r{i}") for i in range(3)]
+    in_flight = []  # (receiver_index, envelope)
+    for actor, kind, element in script:
+        replica = replicas[actor]
+        envelope = (
+            replica.add(f"e{element}")
+            if kind == 0
+            else replica.remove(f"e{element}")
+        )
+        for i, other in enumerate(replicas):
+            if i != actor:
+                in_flight.append((i, envelope))
+                if rng.random() < 0.3:  # duplicate delivery
+                    in_flight.append((i, envelope))
+    rng.shuffle(in_flight)
+    for receiver_index, envelope in in_flight:
+        replicas[receiver_index].receive(envelope)
+    values = {replica.value for replica in replicas}
+    assert len(values) == 1
+    assert all(r.buffer.pending_count == 0 for r in replicas)

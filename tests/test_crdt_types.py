@@ -1,0 +1,525 @@
+"""Behavioral unit tests for every CRDT type."""
+
+import pytest
+
+from repro.crdt import (
+    RGA,
+    DeltaGCounter,
+    DeltaORSet,
+    GCounter,
+    GSet,
+    LWWElementSet,
+    LWWMap,
+    LWWRegister,
+    MVRegister,
+    ORMap,
+    ORSet,
+    PNCounter,
+    TwoPSet,
+)
+
+
+# ----------------------------------------------------------------------
+# Counters
+# ----------------------------------------------------------------------
+
+def test_gcounter_counts_across_replicas():
+    a, b = GCounter("a"), GCounter("b")
+    a.increment(3)
+    b.increment()
+    a.merge(b)
+    assert a.value == 4
+
+
+def test_gcounter_merge_does_not_double_count():
+    a, b = GCounter("a"), GCounter("b")
+    a.increment(5)
+    b.merge(a)
+    b.merge(a)
+    b.increment(1)
+    a.merge(b)
+    assert a.value == 6
+
+
+def test_gcounter_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        GCounter("a").increment(0)
+    with pytest.raises(ValueError):
+        GCounter("a").increment(-2)
+
+
+def test_gcounter_type_safety():
+    with pytest.raises(TypeError):
+        GCounter("a").merge(PNCounter("b"))
+
+
+def test_gcounter_state_roundtrip():
+    a = GCounter("a")
+    a.increment(7)
+    restored = GCounter.from_state("a", a.state())
+    restored.increment(1)
+    assert restored.value == 8
+
+
+def test_pncounter_increments_and_decrements():
+    a, b = PNCounter("a"), PNCounter("b")
+    a.increment(10)
+    a.decrement(3)
+    b.decrement(2)
+    a.merge(b)
+    b.merge(a)
+    assert a.value == b.value == 5
+
+
+def test_pncounter_can_go_negative():
+    a = PNCounter("a")
+    a.decrement(4)
+    assert a.value == -4
+
+
+# ----------------------------------------------------------------------
+# Registers
+# ----------------------------------------------------------------------
+
+def test_lww_register_local_sequence():
+    r = LWWRegister("a")
+    assert r.value is None
+    r.assign("x")
+    r.assign("y")
+    assert r.value == "y"
+
+
+def test_lww_register_merge_picks_single_winner():
+    a, b = LWWRegister("a"), LWWRegister("b")
+    a.assign("from-a")
+    b.assign("from-b")
+    a.merge(b)
+    b.merge(a)
+    assert a.value == b.value
+    assert a.value in ("from-a", "from-b")
+
+
+def test_lww_register_write_after_merge_wins():
+    a, b = LWWRegister("a"), LWWRegister("b")
+    for _ in range(5):
+        b.assign("spam")
+    a.merge(b)
+    a.assign("final")
+    b.merge(a)
+    assert b.value == "final"
+
+
+def test_mv_register_keeps_concurrent_values():
+    a, b = MVRegister("a"), MVRegister("b")
+    a.assign("x")
+    b.assign("y")
+    a.merge(b)
+    assert sorted(a.values) == ["x", "y"]
+    assert sorted(a.value) == ["x", "y"]  # ambiguous -> list
+
+
+def test_mv_register_assign_resolves_seen_siblings():
+    a, b = MVRegister("a"), MVRegister("b")
+    a.assign("x")
+    b.assign("y")
+    a.merge(b)
+    a.assign("resolved")
+    b.merge(a)
+    assert b.values == ["resolved"]
+    assert b.value == "resolved"
+
+
+def test_mv_register_unseen_write_stays_concurrent():
+    a, b = MVRegister("a"), MVRegister("b")
+    a.assign("x")
+    b.merge(a.copy())
+    b.assign("y")      # causally after x
+    a.assign("z")      # concurrent with y
+    b.merge(a)
+    assert sorted(b.values) == ["y", "z"]
+
+
+def test_mv_register_duplicate_merge_no_sibling_duplication():
+    a, b = MVRegister("a"), MVRegister("b")
+    a.assign("x")
+    b.merge(a.copy())
+    b.merge(a.copy())
+    assert b.values == ["x"]
+
+
+# ----------------------------------------------------------------------
+# Sets
+# ----------------------------------------------------------------------
+
+def test_gset_union_merge():
+    a, b = GSet("a"), GSet("b")
+    a.add(1)
+    b.add(2)
+    a.merge(b)
+    assert a.value == frozenset({1, 2})
+    assert 1 in a and len(a) == 2 and set(a) == {1, 2}
+
+
+def test_2pset_remove_is_permanent():
+    a = TwoPSet("a")
+    a.add("x")
+    a.remove("x")
+    a.add("x")  # re-add has no effect
+    assert "x" not in a
+    assert a.value == frozenset()
+
+
+def test_2pset_remove_propagates_via_merge():
+    a, b = TwoPSet("a"), TwoPSet("b")
+    a.add("x")
+    b.merge(a)
+    b.remove("x")
+    a.merge(b)
+    assert "x" not in a and len(a) == 0
+
+
+def test_orset_add_remove_add_again():
+    a = ORSet("a")
+    a.add("x")
+    a.remove("x")
+    assert "x" not in a
+    a.add("x")
+    assert "x" in a
+
+
+def test_orset_add_wins_over_concurrent_remove():
+    a, b = ORSet("a"), ORSet("b")
+    a.add("x")
+    b.merge(a.copy())
+    b.remove("x")        # removes the tag it saw
+    a.add("x")           # concurrent new tag
+    a.merge(b)
+    b.merge(a.copy())
+    assert "x" in a and "x" in b
+
+
+def test_orset_remove_only_observed_tags():
+    a, b = ORSet("a"), ORSet("b")
+    a.add("x")
+    b.add("x")  # independent tag, never seen by a
+    a.remove("x")
+    b.merge(a)
+    assert "x" in b  # b's own tag survives
+
+
+def test_orset_len_iter_value():
+    a = ORSet("a")
+    for item in ("p", "q", "r"):
+        a.add(item)
+    a.remove("q")
+    assert len(a) == 2
+    assert set(a) == {"p", "r"}
+    assert a.value == frozenset({"p", "r"})
+
+
+def test_orset_counter_survives_merge_of_own_tags():
+    a = ORSet("a")
+    a.add("x")
+    fresh = ORSet("a")  # same replica id, e.g. after restart
+    fresh.merge(a)
+    fresh.add("y")
+    tags = fresh.live_tags("y")
+    assert all(tag not in a.live_tags("x") for tag in tags)
+
+
+def test_lww_element_set_add_remove():
+    s = LWWElementSet("a")
+    s.add("x")
+    s.remove("x")
+    assert "x" not in s
+    s.add("x")
+    assert "x" in s
+
+
+def test_lww_element_set_bias():
+    add_biased = LWWElementSet("a", bias="add")
+    rem_biased = LWWElementSet("b", bias="remove")
+    with pytest.raises(ValueError):
+        LWWElementSet("c", bias="maybe")
+    # Same-instant conflict from two replicas.
+    x, y = LWWElementSet("x"), LWWElementSet("y")
+    x.add("k")
+    y.remove("k")
+    add_biased.merge(x); add_biased.merge(y)
+    rem_biased.merge(x); rem_biased.merge(y)
+    assert "k" in add_biased
+    assert "k" not in rem_biased
+
+
+def test_lww_element_set_converges():
+    x, y = LWWElementSet("x"), LWWElementSet("y")
+    x.add("k")
+    y.merge(x.copy())
+    y.remove("k")
+    x.add("j")
+    x.merge(y.copy())
+    y.merge(x.copy())
+    assert x.value == y.value
+
+
+# ----------------------------------------------------------------------
+# Maps
+# ----------------------------------------------------------------------
+
+def test_lww_map_put_get_delete():
+    m = LWWMap("a")
+    m.put("k", 1)
+    assert m.get("k") == 1 and "k" in m
+    m.delete("k")
+    assert m.get("k") is None and "k" not in m
+    assert m.get("k", "default") == "default"
+
+
+def test_lww_map_merge_per_key():
+    a, b = LWWMap("a"), LWWMap("b")
+    a.put("x", 1)
+    b.put("y", 2)
+    a.merge(b)
+    b.merge(a)
+    assert a.value == b.value == {"x": 1, "y": 2}
+    assert len(a) == 2 and set(a) == {"x", "y"}
+
+
+def test_lww_map_delete_vs_concurrent_put_converges():
+    a, b = LWWMap("a"), LWWMap("b")
+    a.put("k", "old")
+    b.merge(a.copy())
+    b.delete("k")
+    a.put("k", "new")
+    a.merge(b.copy())
+    b.merge(a.copy())
+    assert a.value == b.value
+
+
+def test_ormap_counter_values_merge():
+    a = ORMap("a", PNCounter)
+    b = ORMap("b", PNCounter)
+    a.update("hits", lambda c: c.increment(3))
+    b.update("hits", lambda c: c.increment(4))
+    a.merge(b)
+    b.merge(a)
+    assert a.value == b.value == {"hits": 7}
+
+
+def test_ormap_remove_key():
+    a = ORMap("a", PNCounter)
+    a.update("k", lambda c: c.increment())
+    a.remove("k")
+    assert "k" not in a
+    assert a.value == {}
+
+
+def test_ormap_concurrent_update_keeps_key_alive():
+    a = ORMap("a", PNCounter)
+    b = ORMap("b", PNCounter)
+    a.update("k", lambda c: c.increment(2))
+    b.merge(a.copy())
+    b.remove("k")
+    a.update("k", lambda c: c.increment(5))  # concurrent with remove
+    a.merge(b)
+    b.merge(a.copy())
+    assert "k" in a and "k" in b
+    assert a.value == b.value == {"k": 7}
+
+
+def test_ormap_no_increment_regression_after_remove_update_cycle():
+    # Regression guard for the reset trap: remove, update again, and
+    # merge with a replica holding the old state must not lose the new
+    # increment.
+    a = ORMap("a", PNCounter)
+    a.update("k", lambda c: c.increment(3))
+    b = ORMap("b", PNCounter)
+    b.merge(a.copy())           # b holds a's old contribution (3)
+    a.remove("k")
+    a.update("k", lambda c: c.increment(1))  # a's entry must exceed 3+1
+    a.merge(b)
+    b.merge(a.copy())
+    assert a.value == b.value == {"k": 4}
+
+
+def test_ormap_nested_orset_values():
+    a = ORMap("a", ORSet)
+    a.update("tags", lambda s: s.add("red"))
+    b = ORMap("b", ORSet)
+    b.update("tags", lambda s: s.add("blue"))
+    a.merge(b)
+    assert a.value == {"tags": frozenset({"red", "blue"})}
+    assert a.get("tags") is not None
+    assert a.get("missing") is None
+
+
+# ----------------------------------------------------------------------
+# RGA
+# ----------------------------------------------------------------------
+
+def test_rga_local_editing():
+    r = RGA("a")
+    for ch in "hello":
+        r.append(ch)
+    r.insert(0, ">")
+    r.delete(3)
+    assert "".join(r.to_list()) == ">helo"
+    assert len(r) == 5
+    assert r[0] == ">"
+    assert list(r) == [">", "h", "e", "l", "o"]
+
+
+def test_rga_insert_bounds_checked():
+    r = RGA("a")
+    with pytest.raises(IndexError):
+        r.insert(1, "x")
+    with pytest.raises(IndexError):
+        r.delete(0)
+
+
+def test_rga_concurrent_inserts_converge():
+    a, b = RGA("a"), RGA("b")
+    for ch in "ad":
+        a.append(ch)
+    b.merge(a.copy())
+    a.insert(1, "b")
+    b.insert(1, "c")
+    a.merge(b)
+    b.merge(a.copy())
+    assert a.to_list() == b.to_list()
+    assert set(a.to_list()) == {"a", "b", "c", "d"}
+    assert a.to_list()[0] == "a" and a.to_list()[-1] == "d"
+
+
+def test_rga_same_replica_run_stays_contiguous():
+    a, b = RGA("a"), RGA("b")
+    a.append("x")
+    b.merge(a.copy())
+    # a types "123" after x while b types "456" after x.
+    for ch in "123":
+        a.append(ch)
+    for ch in "456":
+        b.append(ch)
+    a.merge(b)
+    text = "".join(a.to_list())
+    assert "123" in text and "456" in text  # runs not interleaved
+
+
+def test_rga_delete_propagates():
+    a, b = RGA("a"), RGA("b")
+    for ch in "abc":
+        a.append(ch)
+    b.merge(a.copy())
+    b.delete(1)
+    a.merge(b)
+    assert "".join(a.to_list()) == "ac"
+    assert a.tombstone_count == 1
+
+
+def test_rga_merge_idempotent_duplicate_nodes():
+    a, b = RGA("a"), RGA("b")
+    a.append("x")
+    b.merge(a.copy())
+    b.merge(a.copy())
+    assert b.to_list() == ["x"]
+
+
+# ----------------------------------------------------------------------
+# Delta CRDTs
+# ----------------------------------------------------------------------
+
+def test_delta_gcounter_delta_carries_increment():
+    a, b = DeltaGCounter("a"), DeltaGCounter("b")
+    delta = a.increment(5)
+    b.merge(delta)
+    assert b.value == 5
+    assert a.value == 5
+
+
+def test_delta_gcounter_split_drains_group():
+    a = DeltaGCounter("a")
+    a.increment(1)
+    a.increment(2)
+    group = a.split()
+    assert group is not None and group.value == 3
+    assert a.split() is None
+
+
+def test_delta_gcounter_forwarding_via_merge():
+    a, b, c = DeltaGCounter("a"), DeltaGCounter("b"), DeltaGCounter("c")
+    b.merge(a.increment(4))
+    group = b.split()  # b forwards what it learned
+    assert group is not None
+    c.merge(group)
+    assert c.value == 4
+
+
+def test_delta_orset_add_remove_via_deltas():
+    a, b = DeltaORSet("a"), DeltaORSet("b")
+    b.merge(a.add("x"))
+    assert "x" in b
+    a.merge(b.remove("x"))
+    assert "x" not in a
+
+
+def test_delta_orset_remove_of_absent_is_noop_delta():
+    a = DeltaORSet("a")
+    delta = a.remove("ghost")
+    assert delta.value == frozenset()
+
+
+def test_delta_orset_split_accumulates_multiple_ops():
+    a, b = DeltaORSet("a"), DeltaORSet("b")
+    a.add("x")
+    a.add("y")
+    a.remove("x")
+    group = a.split()
+    assert group is not None
+    b.merge(group)
+    assert b.value == frozenset({"y"})
+    assert a.split() is None
+
+
+def test_delta_merge_matches_full_state_merge():
+    full_a, full_b = ORSet("a"), ORSet("b")
+    delta_a, delta_b = DeltaORSet("a"), DeltaORSet("b")
+    for s in (full_a, delta_a):
+        s.add("p"); s.add("q"); s.remove("p")
+    for s in (full_b, delta_b):
+        s.add("r")
+    full_a.merge(full_b)
+    delta_a.merge(delta_b)
+    assert full_a.value == delta_a.value == frozenset({"q", "r"})
+
+
+def test_rga_insert_after_cursor_semantics():
+    a, b = RGA("a"), RGA("b")
+    cursor = None
+    for ch in "abc":
+        cursor = a.insert_after(cursor, ch)
+    b.merge(a.copy())
+    # Both type runs concurrently with cursors anchored on 'c'.
+    cur_a, cur_b = cursor, cursor
+    for ch in "12":
+        cur_a = a.insert_after(cur_a, ch)
+    for ch in "89":
+        cur_b = b.insert_after(cur_b, ch)
+    a.merge(b)
+    b.merge(a.copy())
+    text = "".join(a.to_list())
+    assert text == "".join(b.to_list())
+    assert "12" in text and "89" in text  # runs contiguous
+    assert text.startswith("abc")
+
+
+def test_rga_insert_after_unknown_parent_rejected():
+    r = RGA("a")
+    with pytest.raises(KeyError):
+        r.insert_after((5, "ghost"), "x")
+
+
+def test_rga_insert_after_head():
+    r = RGA("a")
+    r.append("b")
+    r.insert_after(None, "a")
+    assert r.to_list() == ["a", "b"]

@@ -1,0 +1,58 @@
+"""Smoke tests: every example runs clean, and the CLI works."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import list_examples, main
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / f"{name}.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # said something
+
+
+def test_cli_lists_all_examples():
+    assert set(list_examples()) == set(EXAMPLES)
+
+
+def test_cli_selftest(capsys):
+    assert main(["selftest"]) == 0
+    out = capsys.readouterr().out
+    assert "smoke simulation ok" in out
+
+
+def test_cli_examples_command(capsys):
+    assert main(["examples"]) == 0
+    out = capsys.readouterr().out
+    assert "quickstart" in out
+
+
+def test_cli_pbs_command(capsys):
+    assert main(["pbs", "--n", "3", "--trials", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "R=1 W=1" in out and "R=3 W=3 *" in out
+
+
+def test_cli_run_unknown_example(capsys):
+    assert main(["run", "no-such-example"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown example" in err
+
+
+def test_cli_run_executes_example(capsys):
+    assert main(["run", "shopping_cart"]) == 0
+    out = capsys.readouterr().out
+    assert "OR-set" in out

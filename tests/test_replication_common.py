@@ -1,0 +1,160 @@
+"""Tests for the request/reply layer and the hash ring."""
+
+import pytest
+
+from repro.errors import NotLeaderError, TimeoutError as ReproTimeoutError
+from repro.replication import HashRing, stable_hash
+from repro.replication.common import ClientNode, ServerNode
+from repro.sim import FixedLatency, Future, Network, Simulator
+
+
+class EchoServer(ServerNode):
+    def serve_str(self, src, payload):
+        return payload.upper()
+
+    def serve_int(self, src, payload):
+        # Deferred reply via future.
+        future = Future(self.sim)
+        self.sim.schedule(5.0, future.resolve, payload * 2)
+        return future
+
+    def serve_float(self, src, payload):
+        raise NotLeaderError("floats go elsewhere")
+
+    def serve_list(self, src, payload):
+        future = Future(self.sim)
+        self.sim.schedule(2.0, future.fail, NotLeaderError("async failure"))
+        return future
+
+
+def setup():
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=FixedLatency(1.0))
+    server = EchoServer(sim, net, "server")
+    client = ClientNode(sim, net, "client")
+    return sim, net, server, client
+
+
+def test_request_reply_roundtrip():
+    sim, _net, _server, client = setup()
+    future = client.request("server", "hello")
+    sim.run()
+    assert future.value == "HELLO"
+    assert sim.now == 2.0  # one hop each way
+
+
+def test_deferred_reply_via_future():
+    sim, _net, _server, client = setup()
+    future = client.request("server", 21)
+    sim.run()
+    assert future.value == 42
+    assert sim.now == 7.0  # 1 + 5 + 1
+
+
+def test_server_error_propagates_to_client():
+    sim, _net, _server, client = setup()
+    future = client.request("server", 3.14)
+    sim.run()
+    assert isinstance(future.error, NotLeaderError)
+
+
+def test_async_server_failure_propagates():
+    sim, _net, _server, client = setup()
+    future = client.request("server", [1])
+    sim.run()
+    assert isinstance(future.error, NotLeaderError)
+    assert "async failure" in str(future.error)
+
+
+def test_timeout_fires_when_server_unreachable():
+    sim, net, _server, client = setup()
+    net.partition(["client"], ["server"])
+    future = client.request("server", "hello", timeout=10.0)
+    sim.run()
+    assert isinstance(future.error, ReproTimeoutError)
+    assert sim.now == 10.0
+
+
+def test_late_reply_after_timeout_is_ignored():
+    sim, _net, server, client = setup()
+    # Deferred reply takes 7ms; timeout at 3ms.
+    future = client.request("server", 21, timeout=3.0)
+    sim.run()
+    assert isinstance(future.error, ReproTimeoutError)  # no double-resolve crash
+
+
+def test_crashed_server_never_replies():
+    sim, _net, server, client = setup()
+    server.crash()
+    future = client.request("server", "hello", timeout=50.0)
+    sim.run()
+    assert isinstance(future.error, ReproTimeoutError)
+
+
+# ----------------------------------------------------------------------
+# Hash ring
+# ----------------------------------------------------------------------
+
+def test_stable_hash_deterministic():
+    assert stable_hash("key") == stable_hash("key")
+    assert stable_hash("key") != stable_hash("yek")
+
+
+def test_preference_list_distinct_and_sized():
+    ring = HashRing([f"n{i}" for i in range(6)], vnodes=8)
+    for key in ("alpha", "beta", "gamma", 42):
+        plist = ring.preference_list(key, 3)
+        assert len(plist) == 3
+        assert len(set(plist)) == 3
+
+
+def test_preference_list_stable():
+    ring = HashRing(["a", "b", "c", "d"], vnodes=8)
+    assert ring.preference_list("k", 3) == ring.preference_list("k", 3)
+
+
+def test_preference_list_caps_at_ring_size():
+    ring = HashRing(["a", "b"], vnodes=4)
+    assert len(ring.preference_list("k", 5)) == 2
+
+
+def test_coordinator_is_first_preference():
+    ring = HashRing(["a", "b", "c"], vnodes=4)
+    assert ring.coordinator("k") == ring.preference_list("k", 3)[0]
+
+
+def test_fallbacks_exclude_preference_nodes():
+    ring = HashRing([f"n{i}" for i in range(6)], vnodes=8)
+    prefs = set(ring.preference_list("k", 3))
+    falls = ring.fallbacks("k", exclude=prefs)
+    assert prefs.isdisjoint(falls)
+    assert len(falls) == 3
+
+
+def test_add_remove_node():
+    ring = HashRing(["a", "b"], vnodes=4)
+    ring.add_node("c")
+    assert "c" in ring.nodes
+    with pytest.raises(ValueError):
+        ring.add_node("c")
+    ring.remove_node("c")
+    assert "c" not in ring.nodes
+    with pytest.raises(ValueError):
+        ring.remove_node("c")
+
+
+def test_key_distribution_roughly_balanced():
+    nodes = [f"n{i}" for i in range(4)]
+    ring = HashRing(nodes, vnodes=64)
+    counts = {node: 0 for node in nodes}
+    for i in range(2000):
+        counts[ring.coordinator(f"key-{i}")] += 1
+    for node in nodes:
+        assert 250 < counts[node] < 750  # within 2x of fair share (500)
+
+
+def test_ring_requires_nodes_and_vnodes():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing(["a"], vnodes=0)

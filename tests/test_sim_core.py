@@ -1,0 +1,229 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(5.0, out.append, "late")
+    sim.schedule(1.0, out.append, "early")
+    sim.schedule(3.0, out.append, "middle")
+    sim.run()
+    assert out == ["early", "middle", "late"]
+    assert sim.now == 5.0
+
+
+def test_simultaneous_events_fifo_by_scheduling_order():
+    sim = Simulator()
+    out = []
+    for tag in ("a", "b", "c"):
+        sim.schedule(2.0, out.append, tag)
+    sim.run()
+    assert out == ["a", "b", "c"]
+
+
+def test_clock_starts_at_zero_and_advances_monotonically():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.0, lambda: times.append(sim.now))
+    sim.schedule(4.0, lambda: times.append(sim.now))
+    assert sim.now == 0.0
+    sim.run()
+    assert times == [1.0, 4.0]
+
+
+def test_nested_scheduling_from_within_event():
+    sim = Simulator()
+    out = []
+
+    def first():
+        out.append(("first", sim.now))
+        sim.schedule(2.0, second)
+
+    def second():
+        out.append(("second", sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert out == [("first", 1.0), ("second", 3.0)]
+
+
+def test_run_until_stops_and_resumes():
+    sim = Simulator()
+    out = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, out.append, t)
+    sim.run(until=2.0)
+    assert out == [1.0, 2.0]
+    assert sim.now == 2.0
+    sim.run()
+    assert out == [1.0, 2.0, 3.0]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    sim = Simulator()
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    out = []
+    event = sim.schedule(1.0, out.append, "cancelled")
+    sim.schedule(2.0, out.append, "kept")
+    event.cancel()
+    sim.run()
+    assert out == ["kept"]
+
+
+def test_cancel_is_idempotent_and_tracks_pending_count():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    assert sim.pending_events == 1
+    event.cancel()
+    event.cancel()
+    assert sim.pending_events == 0
+
+
+def test_stop_halts_run_mid_queue():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, lambda: (out.append("a"), sim.stop()))
+    sim.schedule(2.0, out.append, "b")
+    sim.run()
+    assert out == ["a"]
+    assert sim.pending_events == 1
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_call_soon_runs_at_current_time_after_same_instant_events():
+    sim = Simulator()
+    out = []
+
+    def at_two():
+        out.append("scheduled")
+        sim.call_soon(out.append, "soon")
+
+    sim.schedule(2.0, at_two)
+    sim.schedule(2.0, out.append, "also-at-two")
+    sim.run()
+    assert out == ["scheduled", "also-at-two", "soon"]
+    assert sim.now == 2.0
+
+
+def test_max_events_limits_processing():
+    sim = Simulator()
+    out = []
+    for t in range(5):
+        sim.schedule(float(t + 1), out.append, t)
+    sim.run(max_events=2)
+    assert out == [0, 1]
+
+
+def test_step_processes_single_event():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "x")
+    assert sim.step() is True
+    assert out == ["x"]
+    assert sim.step() is False
+
+
+def test_determinism_same_seed_same_trace():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        trace = []
+
+        def tick(i):
+            trace.append((round(sim.now, 9), i))
+            if i < 50:
+                sim.schedule(sim.rng.expovariate(1.0), tick, i + 1)
+
+        sim.schedule(0.0, tick, 0)
+        sim.run()
+        return trace
+
+    assert run(42) == run(42)
+    assert run(42) != run(43)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def inner():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, inner)
+    sim.run()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for t in range(4):
+        sim.schedule(float(t), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_cancel_after_fire_does_not_corrupt_queue_accounting():
+    # Regression: cancelling an event that already executed used to
+    # decrement the live count below reality, making run() think the
+    # queue was empty and silently stopping the simulation.
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    event.cancel()  # harmless no-op
+    sim.schedule(1.0, fired.append, "b")
+    sim.schedule(2.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_daemon_events_do_not_keep_run_alive():
+    sim = Simulator()
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        sim.schedule_daemon(10.0, tick)
+
+    sim.schedule_daemon(10.0, tick)
+    sim.schedule(25.0, lambda: None)  # foreground work until t=25
+    sim.run()
+    # Daemons fired while foreground work existed, then run() returned
+    # instead of following the daemon chain forever.
+    assert ticks == [10.0, 20.0]
+    assert sim.now == 25.0
+
+
+def test_run_until_processes_daemon_events():
+    sim = Simulator()
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        sim.schedule_daemon(10.0, tick)
+
+    sim.schedule_daemon(10.0, tick)
+    sim.run(until=45.0)
+    assert ticks == [10.0, 20.0, 30.0, 40.0]

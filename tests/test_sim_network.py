@@ -1,0 +1,248 @@
+"""Unit tests for the simulated network: latency, loss, partitions."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim import (
+    ExponentialLatency,
+    FixedLatency,
+    LogNormalLatency,
+    MatrixLatency,
+    Network,
+    Simulator,
+    UniformLatency,
+    estimate_size,
+)
+
+
+class Sink:
+    """Minimal node: records (time, src, msg) deliveries."""
+
+    def __init__(self, sim, network, node_id):
+        self.sim = sim
+        self.node_id = node_id
+        self.crashed = False
+        self.received = []
+        network.register(self)
+
+    def deliver(self, src, message):
+        self.received.append((self.sim.now, src, message))
+
+
+def make_net(seed=0, **kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, **kwargs)
+    nodes = {name: Sink(sim, net, name) for name in ("a", "b", "c")}
+    return sim, net, nodes
+
+
+def test_fixed_latency_delivery():
+    sim, net, nodes = make_net(latency=FixedLatency(7.0))
+    net.send("a", "b", "hello")
+    sim.run()
+    assert nodes["b"].received == [(7.0, "a", "hello")]
+    assert net.stats.messages_delivered == 1
+
+
+def test_loopback_uses_loopback_latency():
+    sim, net, nodes = make_net(latency=FixedLatency(50.0), loopback_latency=0.25)
+    net.send("a", "a", "self")
+    sim.run()
+    assert nodes["a"].received[0][0] == 0.25
+
+
+def test_unknown_destination_rejected():
+    _sim, net, _nodes = make_net()
+    with pytest.raises(NetworkError):
+        net.send("a", "nope", "x")
+
+
+def test_duplicate_node_registration_rejected():
+    sim, net, _nodes = make_net()
+    with pytest.raises(NetworkError):
+        Sink(sim, net, "a")
+
+
+def test_loss_rate_drops_messages():
+    sim, net, nodes = make_net(seed=3, loss_rate=0.5)
+    for _ in range(200):
+        net.send("a", "b", "m")
+    sim.run()
+    delivered = len(nodes["b"].received)
+    assert 60 < delivered < 140
+    assert net.stats.messages_dropped_loss == 200 - delivered
+
+
+def test_duplicate_rate_duplicates_messages():
+    sim, net, nodes = make_net(seed=5, duplicate_rate=0.5)
+    for _ in range(100):
+        net.send("a", "b", "m")
+    sim.run()
+    assert len(nodes["b"].received) > 120
+    assert net.stats.messages_duplicated == len(nodes["b"].received) - 100
+
+
+def test_partition_blocks_cross_group_traffic_only():
+    sim, net, nodes = make_net()
+    net.partition(["a"], ["b", "c"])
+    net.send("a", "b", "blocked")
+    net.send("b", "c", "allowed")
+    sim.run()
+    assert nodes["b"].received == []
+    assert len(nodes["c"].received) == 1
+    assert net.stats.messages_dropped_partition == 1
+
+
+def test_unnamed_nodes_form_implicit_partition_group():
+    sim, net, nodes = make_net()
+    net.partition(["a"])  # b and c land in the implicit group together
+    net.send("b", "c", "m")
+    net.send("c", "a", "blocked")
+    sim.run()
+    assert len(nodes["c"].received) == 1
+    assert nodes["a"].received == []
+
+
+def test_heal_restores_connectivity():
+    sim, net, nodes = make_net()
+    net.partition(["a"], ["b"])
+    assert net.partitioned
+    net.heal()
+    assert not net.partitioned
+    net.send("a", "b", "m")
+    sim.run()
+    assert len(nodes["b"].received) == 1
+
+
+def test_partition_with_unknown_or_duplicate_node_rejected():
+    _sim, net, _nodes = make_net()
+    with pytest.raises(NetworkError):
+        net.partition(["zz"])
+    with pytest.raises(NetworkError):
+        net.partition(["a"], ["a"])
+
+
+def test_crashed_node_drops_incoming():
+    sim, net, nodes = make_net()
+    nodes["b"].crashed = True
+    net.send("a", "b", "m")
+    sim.run()
+    assert nodes["b"].received == []
+    assert net.stats.messages_dropped_crash == 1
+
+
+def test_broadcast_excludes_self_by_default():
+    sim, net, nodes = make_net()
+    net.broadcast("a", "all")
+    sim.run()
+    assert len(nodes["a"].received) == 0
+    assert len(nodes["b"].received) == 1
+    assert len(nodes["c"].received) == 1
+    net.broadcast("a", "all2", include_self=True)
+    sim.run()
+    assert len(nodes["a"].received) == 1
+
+
+def test_stats_by_type_counts_message_classes():
+    sim, net, _nodes = make_net()
+    net.send("a", "b", "text")
+    net.send("a", "b", 42)
+    net.send("a", "b", 43)
+    sim.run()
+    assert net.stats.by_type == {"str": 1, "int": 2}
+
+
+def test_byte_tracking_optional():
+    sim, net, _nodes = make_net(track_bytes=True)
+    net.send("a", "b", "hello")
+    assert net.stats.bytes_sent == estimate_size("hello")
+
+
+def test_invalid_rates_rejected():
+    sim = Simulator()
+    with pytest.raises(NetworkError):
+        Network(sim, loss_rate=1.5)
+    with pytest.raises(NetworkError):
+        Network(sim, duplicate_rate=-0.1)
+
+
+# ----------------------------------------------------------------------
+# Latency models
+# ----------------------------------------------------------------------
+
+def _samples(model, n=500, seed=1):
+    sim = Simulator(seed=seed)
+    return [model.sample(sim.rng, "a", "b") for _ in range(n)]
+
+
+def test_uniform_latency_bounds():
+    values = _samples(UniformLatency(2.0, 4.0))
+    assert all(2.0 <= v <= 4.0 for v in values)
+
+
+def test_exponential_latency_floor_and_mean():
+    values = _samples(ExponentialLatency(base=1.0, mean=2.0), n=4000)
+    assert all(v >= 1.0 for v in values)
+    mean = sum(values) / len(values)
+    assert 2.6 < mean < 3.4  # base + mean = 3.0
+
+
+def test_lognormal_latency_positive_with_median_near_parameter():
+    values = sorted(_samples(LogNormalLatency(median=10.0, sigma=0.3), n=4001))
+    assert all(v > 0 for v in values)
+    assert 8.5 < values[len(values) // 2] < 11.5
+
+
+def test_matrix_latency_symmetric_fallback_and_default():
+    model = MatrixLatency({("x", "y"): 5.0}, jitter=0.0, default=99.0)
+    sim = Simulator()
+    assert model.sample(sim.rng, "x", "y") == 5.0
+    assert model.sample(sim.rng, "y", "x") == 5.0  # reverse direction
+    assert model.sample(sim.rng, "x", "z") == 99.0
+
+
+def test_matrix_latency_missing_entry_without_default_raises():
+    model = MatrixLatency({}, jitter=0.0)
+    sim = Simulator()
+    with pytest.raises(NetworkError):
+        model.sample(sim.rng, "p", "q")
+
+
+def test_matrix_latency_site_mapping_and_jitter():
+    site_of = {"n1": "east", "n2": "west"}.__getitem__
+    model = MatrixLatency({("east", "west"): 10.0}, site_of=site_of, jitter=0.5)
+    sim = Simulator(seed=2)
+    values = [model.sample(sim.rng, "n1", "n2") for _ in range(100)]
+    assert all(10.0 <= v <= 15.0 for v in values)
+    assert max(values) > 12.0  # jitter actually applied
+
+
+def test_invalid_latency_parameters_rejected():
+    with pytest.raises(NetworkError):
+        FixedLatency(-1.0)
+    with pytest.raises(NetworkError):
+        UniformLatency(5.0, 2.0)
+    with pytest.raises(NetworkError):
+        ExponentialLatency(mean=0.0)
+    with pytest.raises(NetworkError):
+        LogNormalLatency(median=0.0)
+
+
+# ----------------------------------------------------------------------
+# Size estimation
+# ----------------------------------------------------------------------
+
+def test_estimate_size_scales_with_content():
+    assert estimate_size("ab") < estimate_size("ab" * 50)
+    assert estimate_size([1, 2, 3]) < estimate_size(list(range(100)))
+    assert estimate_size({"k": "v"}) > estimate_size({})
+
+
+def test_estimate_size_handles_objects_and_none():
+    class Thing:
+        def __init__(self):
+            self.a = 1
+            self.b = "xyz"
+
+    assert estimate_size(None) == 1
+    assert estimate_size(Thing()) > 8

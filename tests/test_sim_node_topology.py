@@ -1,0 +1,202 @@
+"""Unit tests for the Node base class and geo topologies."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import NetworkError, SimulationError
+from repro.sim import (
+    SINGLE_DC,
+    THREE_CONTINENTS,
+    TOPOLOGIES,
+    US_TRIANGLE,
+    WORLD5,
+    FixedLatency,
+    Network,
+    Node,
+    Simulator,
+    round_robin_placement,
+)
+
+
+@dataclass
+class Ping:
+    n: int
+
+
+@dataclass
+class Pong:
+    n: int
+
+
+class Player(Node):
+    def __init__(self, sim, net, node_id, limit=3):
+        super().__init__(sim, net, node_id)
+        self.limit = limit
+        self.log = []
+
+    def handle_Ping(self, src, msg):
+        self.log.append(("ping", msg.n))
+        if msg.n < self.limit:
+            self.send(src, Pong(msg.n + 1))
+
+    def handle_Pong(self, src, msg):
+        self.log.append(("pong", msg.n))
+        if msg.n < self.limit:
+            self.send(src, Ping(msg.n + 1))
+
+
+def test_message_dispatch_by_class_name():
+    sim = Simulator()
+    net = Network(sim, latency=FixedLatency(1.0))
+    a = Player(sim, net, "a")
+    b = Player(sim, net, "b")
+    a.send("b", Ping(0))
+    sim.run()
+    assert b.log == [("ping", 0), ("ping", 2)]
+    assert a.log == [("pong", 1), ("pong", 3)]
+
+
+def test_missing_handler_raises():
+    sim = Simulator()
+    net = Network(sim)
+
+    class Mute(Node):
+        pass
+
+    Mute(sim, net, "m")
+    net.send("m", "m", Ping(0))
+    with pytest.raises(SimulationError, match="no handler"):
+        sim.run()
+
+
+def test_crashed_node_ignores_messages_and_timers():
+    sim = Simulator()
+    net = Network(sim, latency=FixedLatency(1.0))
+    a = Player(sim, net, "a")
+    fired = []
+    a.set_timer(5.0, fired.append, "timer")
+    a.crash()
+    net.send("a", "a", Ping(0))
+    sim.run()
+    assert a.log == []
+    assert fired == []
+    assert net.stats.messages_dropped_crash == 1
+
+
+def test_send_while_crashed_is_dropped_silently():
+    sim = Simulator()
+    net = Network(sim)
+    a = Player(sim, net, "a")
+    Player(sim, net, "b")
+    a.crash()
+    a.send("b", Ping(0))
+    sim.run()
+    assert net.stats.messages_sent == 0
+
+
+def test_recover_runs_hook_and_reenables():
+    sim = Simulator()
+    net = Network(sim, latency=FixedLatency(1.0))
+
+    class Recovering(Player):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.recoveries = 0
+
+        def on_recover(self):
+            self.recoveries += 1
+
+    a = Recovering(sim, net, "a")
+    a.crash()
+    a.recover()
+    a.recover()  # idempotent
+    assert a.recoveries == 1
+    net.send("a", "a", Ping(5))
+    sim.run()
+    assert a.log == [("ping", 5)]
+
+
+def test_every_fires_periodically_until_crash():
+    sim = Simulator()
+    net = Network(sim)
+    a = Player(sim, net, "a")
+    ticks = []
+    a.every(10.0, lambda: ticks.append(sim.now))
+    sim.run(until=35.0)
+    assert ticks == [10.0, 20.0, 30.0]
+    a.crash()
+    sim.run(until=100.0)
+    assert len(ticks) == 3
+
+
+def test_every_rejects_nonpositive_interval():
+    sim = Simulator()
+    net = Network(sim)
+    a = Player(sim, net, "a")
+    with pytest.raises(SimulationError):
+        a.every(0.0, lambda: None)
+
+
+def test_send_many():
+    sim = Simulator()
+    net = Network(sim, latency=FixedLatency(1.0))
+    a = Player(sim, net, "a")
+    b = Player(sim, net, "b")
+    c = Player(sim, net, "c")
+    a.send_many(["b", "c"], Ping(9))
+    sim.run()
+    assert b.log == [("ping", 9)]
+    assert c.log == [("ping", 9)]
+
+
+# ----------------------------------------------------------------------
+# Topologies
+# ----------------------------------------------------------------------
+
+def test_topology_registry_contains_presets():
+    assert set(TOPOLOGIES) == {
+        "single-dc", "us-triangle", "world-5", "three-continents",
+    }
+
+
+def test_delays_symmetric_and_intra_site():
+    assert WORLD5.delay("us-east", "eu") == WORLD5.delay("eu", "us-east") == 40.0
+    assert WORLD5.delay("asia", "asia") == WORLD5.intra_site
+
+
+def test_unknown_site_pair_rejected():
+    with pytest.raises(NetworkError):
+        US_TRIANGLE.delay("us-east", "mars")
+
+
+def test_latency_model_from_placement():
+    placement = {"n0": "us-east", "n1": "eu"}
+    model = THREE_CONTINENTS.latency_model(placement, jitter=0.0)
+    sim = Simulator()
+    assert model.sample(sim.rng, "n0", "n1") == 40.0
+    assert model.sample(sim.rng, "n0", "n0") == THREE_CONTINENTS.intra_site
+
+
+def test_latency_model_rejects_unknown_site():
+    with pytest.raises(NetworkError):
+        THREE_CONTINENTS.latency_model({"n0": "atlantis"})
+
+
+def test_nearest_site():
+    assert WORLD5.nearest_site("us-east", ["eu", "asia"]) == "eu"
+    assert WORLD5.nearest_site("asia", ["us-west", "brazil"]) == "us-west"
+    with pytest.raises(NetworkError):
+        WORLD5.nearest_site("eu", [])
+
+
+def test_round_robin_placement_covers_sites():
+    placement = round_robin_placement(list(range(5)), US_TRIANGLE.sites)
+    assert placement[0] == "us-east"
+    assert placement[3] == "us-east"
+    assert set(placement.values()) == set(US_TRIANGLE.sites)
+
+
+def test_single_dc_has_one_site():
+    assert SINGLE_DC.sites == ("dc",)
+    assert SINGLE_DC.delay("dc", "dc") == 0.5

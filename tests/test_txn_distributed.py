@@ -1,0 +1,501 @@
+"""Tests for 2PL+2PC, RedBlue, and escrow on the simulator."""
+
+import pytest
+
+from repro.errors import InvariantViolation, TransactionAborted
+from repro.sim import FixedLatency, Network, Simulator, spawn
+from repro.txn import (
+    CentralCounterClient,
+    CentralCounterServer,
+    EscrowCounter,
+    RedBlueBank,
+    TwoPhaseCoordinator,
+    make_partitioned_store,
+)
+
+
+# ----------------------------------------------------------------------
+# 2PL + 2PC
+# ----------------------------------------------------------------------
+
+def make_2pc(seed=0, latency=5.0, partitions=3, lock_timeout=200.0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=FixedLatency(latency))
+    parts = make_partitioned_store(sim, net, partitions=partitions,
+                                   lock_timeout=lock_timeout)
+    coordinator = TwoPhaseCoordinator(sim, net, "coord", parts)
+    return sim, net, parts, coordinator
+
+
+def test_transaction_read_write_commit():
+    sim, _net, parts, coord = make_2pc()
+    out = {}
+
+    def body(txn):
+        yield txn.write("a", 10)
+        yield txn.write("b", 20)
+        value = yield txn.read("a")
+        out["read_own"] = value
+        return "done"
+
+    result = coord.run(body)
+    sim.run()
+    assert result.value == "done"
+    assert out["read_own"] == 10
+    merged = {}
+    for part in parts:
+        merged.update(part.data)
+    assert merged == {"a": 10, "b": 20}
+    assert coord.commits == 1
+
+
+def test_uncommitted_writes_invisible():
+    sim, _net, parts, coord = make_2pc()
+    started = {}
+
+    def slow_writer(txn):
+        yield txn.write("x", "dirty")
+        started["locked"] = True
+        yield 500.0  # hold the lock; commit later
+        return True
+
+    result = coord.run(slow_writer)
+    sim.run(until=100.0)
+    assert started.get("locked")
+    for part in parts:
+        assert "x" not in part.data  # nothing installed before commit
+    sim.run()
+    assert result.value is True
+
+
+def test_conflicting_transactions_serialize():
+    sim, _net, parts, coord = make_2pc()
+    order = []
+
+    def incr(txn, tag):
+        value = yield txn.read("counter")
+        yield 10.0  # think time while holding the S lock... upgrade next
+        yield txn.write("counter", (value or 0) + 1)
+        order.append(tag)
+        return True
+
+    r1 = coord.run(lambda t: incr(t, "t1"))
+    r2 = coord.run(lambda t: incr(t, "t2"))
+    sim.run()
+    results = [r1, r2]
+    committed = [r for r in results if r.done and r.error is None]
+    aborted = [r for r in results if r.done and r.error is not None]
+    # Either both serialized (lost-update prevented: counter == 2) or
+    # the upgrade deadlock killed one (counter == 1, one abort).
+    part = coord.partition_of("counter")
+    value = next(p for p in parts if p.node_id == part).data.get("counter")
+    if len(committed) == 2:
+        assert value == 2
+    else:
+        assert len(aborted) == 1
+        assert isinstance(aborted[0].error, TransactionAborted)
+        assert value == 1
+
+
+def test_cross_partition_atomic_commit():
+    sim, _net, parts, coord = make_2pc(partitions=4)
+
+    def transfer(txn):
+        yield txn.write("alpha", 50)
+        yield txn.write("beta", 150)
+        return True
+
+    result = coord.run(transfer)
+    sim.run()
+    assert result.value is True
+    merged = {}
+    for part in parts:
+        merged.update(part.data)
+    assert merged == {"alpha": 50, "beta": 150}
+    # The two keys genuinely live on different partitions.
+    assert coord.partition_of("alpha") != coord.partition_of("beta")
+
+
+def test_abort_releases_locks_and_discards_writes():
+    sim, _net, parts, coord = make_2pc()
+
+    def failing(txn):
+        yield txn.write("k", "ghost")
+        raise TransactionAborted("application rollback")
+
+    result = coord.run(failing)
+    sim.run()
+    assert isinstance(result.error, TransactionAborted)
+    assert coord.aborts == 1
+    for part in parts:
+        assert "k" not in part.data
+
+    def retry(txn):
+        yield txn.write("k", "real")
+        return True
+
+    result2 = coord.run(retry)
+    sim.run()
+    assert result2.value is True
+
+
+def test_lock_wait_timeout_breaks_stalemate():
+    sim, _net, parts, coord = make_2pc(lock_timeout=100.0)
+
+    def holder(txn):
+        yield txn.write("hot", 1)
+        yield 10_000.0
+        return True
+
+    def contender(txn):
+        yield txn.write("hot", 2)
+        return True
+
+    coord.run(holder)
+    result = coord.run(contender)
+    sim.run(until=5_000.0)
+    assert isinstance(result.error, TransactionAborted)
+
+
+# ----------------------------------------------------------------------
+# RedBlue
+# ----------------------------------------------------------------------
+
+def make_redblue(seed=0, latency=40.0, sites=3):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=FixedLatency(latency))
+    bank = RedBlueBank(sim, net, sites=sites)
+    return sim, net, bank
+
+
+def test_blue_deposit_is_local_and_converges():
+    sim, _net, bank = make_redblue()
+    timing = {}
+
+    def script():
+        start = sim.now
+        yield bank.site(0).deposit("acct", 100.0)
+        timing["latency"] = sim.now - start
+
+    spawn(sim, script())
+    sim.run()
+    sim.run(until=sim.now + 300.0)
+    assert timing["latency"] == 0.0                 # local commit
+    assert bank.converged_balance("acct") == 100.0  # async propagation
+
+
+def test_red_withdraw_pays_wan_round_trip():
+    sim, _net, bank = make_redblue(latency=40.0)
+    timing = {}
+
+    def script():
+        yield bank.site(0).deposit("acct", 100.0)
+        yield 200.0  # let the sequencer learn the deposit
+        start = sim.now
+        yield bank.site(0).withdraw("acct", 30.0)
+        timing["latency"] = sim.now - start
+
+    spawn(sim, script())
+    sim.run()
+    sim.run(until=sim.now + 300.0)
+    assert timing["latency"] == pytest.approx(80.0)  # RTT to sequencer
+    assert bank.converged_balance("acct") == 70.0
+
+
+def test_overdraft_rejected_never_negative():
+    sim, _net, bank = make_redblue()
+    outcome = {}
+
+    def script():
+        yield bank.site(0).deposit("acct", 50.0)
+        yield 200.0
+        try:
+            yield bank.site(1).withdraw("acct", 80.0)
+            outcome["r"] = "allowed"
+        except InvariantViolation:
+            outcome["r"] = "rejected"
+
+    spawn(sim, script())
+    sim.run()
+    sim.run(until=sim.now + 300.0)
+    assert outcome["r"] == "rejected"
+    assert bank.coordinator.rejections == 1
+    assert bank.converged_balance("acct") == 50.0
+
+
+def test_concurrent_red_withdrawals_cannot_double_spend():
+    sim, _net, bank = make_redblue(latency=10.0)
+    results = []
+
+    def script(site_index):
+        try:
+            yield bank.site(site_index).withdraw("acct", 60.0)
+            results.append("ok")
+        except InvariantViolation:
+            results.append("rejected")
+
+    def setup():
+        yield bank.site(0).deposit("acct", 100.0)
+        yield 100.0
+        spawn(sim, script(1))
+        spawn(sim, script(2))
+
+    spawn(sim, setup())
+    sim.run()
+    sim.run(until=sim.now + 300.0)
+    assert sorted(results) == ["ok", "rejected"]
+    assert bank.converged_balance("acct") == 40.0
+
+
+def test_sequencer_view_is_conservative_not_stale_unsafe():
+    # A withdrawal racing its own funding deposit may be rejected
+    # (conservative) but never overdraws.
+    sim, _net, bank = make_redblue(latency=50.0)
+    outcome = {}
+
+    def script():
+        yield bank.site(0).deposit("acct", 100.0)
+        try:
+            yield bank.site(0).withdraw("acct", 100.0)  # deposit in flight
+            outcome["r"] = "ok"
+        except InvariantViolation:
+            outcome["r"] = "rejected"
+
+    spawn(sim, script())
+    sim.run()
+    sim.run(until=sim.now + 500.0)
+    balance = bank.converged_balance("acct")
+    if outcome["r"] == "ok":
+        assert balance == 0.0
+    else:
+        assert balance == 100.0
+    assert balance >= 0.0
+
+
+def test_blue_ops_from_all_sites_commute():
+    sim, _net, bank = make_redblue(seed=7)
+
+    def script(index):
+        for i in range(5):
+            yield bank.site(index).deposit("acct", float(index + 1))
+            yield 13.0
+
+    for index in range(3):
+        spawn(sim, script(index))
+    sim.run()
+    sim.run(until=sim.now + 500.0)
+    assert bank.converged_balance("acct") == 5 * (1 + 2 + 3)
+
+
+# ----------------------------------------------------------------------
+# Escrow
+# ----------------------------------------------------------------------
+
+def make_escrow(total, seed=0, latency=30.0, sites=3, split=None):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=FixedLatency(latency))
+    counter = EscrowCounter(sim, net, total=total, sites=sites, split=split)
+    return sim, net, counter
+
+
+def test_local_debit_within_allowance_is_free():
+    sim, _net, counter = make_escrow(total=300.0)
+    timing = {}
+
+    def script():
+        start = sim.now
+        yield counter.site(0).debit(50.0)
+        timing["latency"] = sim.now - start
+
+    spawn(sim, script())
+    sim.run()
+    assert timing["latency"] == 0.0
+    assert counter.site(0).local_commits == 1
+    assert counter.global_headroom() == 250.0
+
+
+def test_debit_beyond_allowance_transfers_from_peers():
+    sim, _net, counter = make_escrow(total=300.0)  # 100 each
+    out = {}
+
+    def script():
+        start = sim.now
+        yield counter.site(0).debit(180.0)   # needs 80 more
+        out["latency"] = sim.now - start
+
+    spawn(sim, script())
+    sim.run()
+    assert out["latency"] > 0.0  # paid at least one WAN round trip
+    assert counter.site(0).transfers_requested >= 1
+    assert counter.global_headroom() == pytest.approx(120.0)
+
+
+def test_debit_beyond_global_headroom_aborts():
+    sim, _net, counter = make_escrow(total=90.0)
+    out = {}
+
+    def script():
+        try:
+            yield counter.site(0).debit(100.0)
+            out["r"] = "ok"
+        except InvariantViolation:
+            out["r"] = "aborted"
+
+    spawn(sim, script())
+    sim.run()
+    assert out["r"] == "aborted"
+    assert counter.site(0).aborts == 1
+    # Headroom solicited from peers is returned-to/held-by site 0, not lost.
+    assert counter.global_headroom() == pytest.approx(90.0)
+
+
+def test_credit_restores_headroom():
+    sim, _net, counter = make_escrow(total=30.0)
+
+    def script():
+        yield counter.site(1).credit(70.0)
+        yield counter.site(1).debit(75.0)
+
+    spawn(sim, script())
+    sim.run()
+    assert counter.global_headroom() == pytest.approx(25.0)
+
+
+def test_invariant_holds_under_concurrent_debits():
+    sim, _net, counter = make_escrow(total=200.0, seed=3)
+    failures = []
+
+    def script(index):
+        for _ in range(6):
+            try:
+                yield counter.site(index).debit(15.0)
+            except InvariantViolation:
+                failures.append(index)
+            yield 11.0
+
+    for index in range(3):
+        spawn(sim, script(index))
+    sim.run()
+    spent = 15.0 * (18 - len(failures))
+    assert counter.global_headroom() == pytest.approx(200.0 - spent)
+    assert counter.global_headroom() >= 0.0
+
+
+def test_uneven_split_validation():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(ValueError):
+        EscrowCounter(sim, net, total=100.0, sites=2, split=[10.0, 20.0])
+    with pytest.raises(ValueError):
+        EscrowCounter(sim, net, total=100.0, sites=2, split=[100.0])
+    with pytest.raises(InvariantViolation):
+        EscrowCounter(sim, net, total=-5.0)
+
+
+def test_central_baseline_pays_rtt_every_time():
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=FixedLatency(25.0))
+    server = CentralCounterServer(sim, net, "server", total=100.0)
+    client = CentralCounterClient(sim, net, "client", "server")
+    timing = {}
+
+    def script():
+        start = sim.now
+        yield client.debit(10.0)
+        timing["first"] = sim.now - start
+        try:
+            yield client.debit(1000.0)
+            timing["overdraft"] = "ok"
+        except InvariantViolation:
+            timing["overdraft"] = "rejected"
+
+    spawn(sim, script())
+    sim.run()
+    assert timing["first"] == pytest.approx(50.0)
+    assert timing["overdraft"] == "rejected"
+    assert server.headroom == 90.0
+
+
+# ----------------------------------------------------------------------
+# 2PC under faults
+# ----------------------------------------------------------------------
+
+def test_2pc_partition_during_body_times_out_and_aborts():
+    sim, net, parts, coord = make_2pc(lock_timeout=100.0)
+    out = {}
+
+    def body(txn):
+        yield txn.write("alpha", 1)
+        # Partition the coordinator away from everything mid-txn.
+        net.partition([coord.node_id])
+        try:
+            yield txn.write("beta", 2)
+            out["r"] = "wrote"
+        except TransactionAborted:
+            out["r"] = "aborted"
+            raise
+
+    # The write to the unreachable partition never acks; there is no
+    # client-level timeout on lock requests, so emulate one by healing
+    # after a while and letting the lock-wait timeout fire server-side.
+    result = coord.run(body)
+    sim.run(until=2_000.0)
+    net.heal()
+    sim.run()
+    # Either the lock request died server-side (timeout -> abort) or
+    # it completed after healing; in both cases the system is not
+    # wedged and data is consistent with the outcome.
+    merged = {}
+    for part in parts:
+        merged.update(part.data)
+    if result.done and result.error is None:
+        assert merged.get("alpha") == 1 and merged.get("beta") == 2
+    else:
+        assert "beta" not in merged
+
+
+def test_2pc_participant_crash_before_prepare_blocks_commit():
+    sim, _net, parts, coord = make_2pc()
+    victim_key = "alpha"
+    victim = next(
+        p for p in parts if p.node_id == coord.partition_of(victim_key)
+    )
+
+    def body(txn):
+        yield txn.write(victim_key, 1)
+        victim.crash()
+        return True
+
+    result = coord.run(body)
+    sim.run(until=3_000.0)
+    # Prepare can never be acknowledged: the transaction must not have
+    # installed anything anywhere.
+    assert not (result.done and result.error is None)
+    for part in parts:
+        assert victim_key not in part.data
+
+
+def test_2pc_sequential_transactions_reuse_partitions_cleanly():
+    sim, _net, parts, coord = make_2pc()
+    results = []
+
+    def make_body(i):
+        def body(txn):
+            value = yield txn.read("counter")
+            yield txn.write("counter", (value or 0) + 1)
+            return True
+        return body
+
+    def driver():
+        for i in range(5):
+            outcome = coord.run(make_body(i))
+            yield outcome
+            results.append(outcome.value)
+
+    from repro.sim import spawn as _spawn
+    _spawn(sim, driver())
+    sim.run()
+    assert results == [True] * 5
+    part = next(p for p in parts if p.node_id == coord.partition_of("counter"))
+    assert part.data["counter"] == 5
+    assert coord.commits == 5

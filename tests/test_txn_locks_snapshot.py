@@ -1,0 +1,231 @@
+"""Tests for the lock manager and snapshot isolation."""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.sim import Simulator
+from repro.txn import LockManager, LockMode, SnapshotStore
+
+
+# ----------------------------------------------------------------------
+# LockManager
+# ----------------------------------------------------------------------
+
+def test_shared_locks_coexist():
+    sim = Simulator()
+    lm = LockManager(sim)
+    f1 = lm.acquire("t1", "k", LockMode.SHARED)
+    f2 = lm.acquire("t2", "k", LockMode.SHARED)
+    assert f1.done and f2.done
+    assert set(lm.holders_of("k")) == {"t1", "t2"}
+
+
+def test_exclusive_blocks_until_release():
+    sim = Simulator()
+    lm = LockManager(sim)
+    lm.acquire("t1", "k", LockMode.EXCLUSIVE)
+    f2 = lm.acquire("t2", "k", LockMode.EXCLUSIVE)
+    assert not f2.done
+    assert lm.queue_length("k") == 1
+    lm.release_all("t1")
+    assert f2.done and f2.value is True
+
+
+def test_reentrant_and_weaker_requests_granted():
+    sim = Simulator()
+    lm = LockManager(sim)
+    lm.acquire("t1", "k", LockMode.EXCLUSIVE)
+    assert lm.acquire("t1", "k", LockMode.EXCLUSIVE).done
+    assert lm.acquire("t1", "k", LockMode.SHARED).done  # weaker
+
+
+def test_upgrade_when_sole_holder():
+    sim = Simulator()
+    lm = LockManager(sim)
+    lm.acquire("t1", "k", LockMode.SHARED)
+    up = lm.acquire("t1", "k", LockMode.EXCLUSIVE)
+    assert up.done
+    assert lm.holders_of("k")["t1"] is LockMode.EXCLUSIVE
+
+
+def test_fifo_queue_prevents_writer_starvation():
+    sim = Simulator()
+    lm = LockManager(sim)
+    lm.acquire("r1", "k", LockMode.SHARED)
+    writer = lm.acquire("w", "k", LockMode.EXCLUSIVE)
+    late_reader = lm.acquire("r2", "k", LockMode.SHARED)
+    assert not writer.done and not late_reader.done  # r2 queued behind w
+    lm.release_all("r1")
+    sim.run()
+    assert writer.done
+    assert not late_reader.done  # writer holds X now
+    lm.release_all("w")
+    assert late_reader.done
+
+
+def test_deadlock_detected_and_youngest_aborted():
+    sim = Simulator()
+    lm = LockManager(sim)
+    lm.acquire("t1", "a", LockMode.EXCLUSIVE)
+    lm.acquire("t2", "b", LockMode.EXCLUSIVE)
+    f1 = lm.acquire("t1", "b", LockMode.EXCLUSIVE)   # t1 waits on t2
+    f2 = lm.acquire("t2", "a", LockMode.EXCLUSIVE)   # t2 waits on t1: cycle
+    sim.run()
+    assert lm.deadlocks_detected == 1
+    # t2 is younger: its request fails.
+    assert isinstance(f2.error, TransactionAborted)
+    assert not f1.done  # still waiting, resumes when t2 releases
+    lm.release_all("t2")
+    assert f1.done and f1.value is True
+
+
+def test_release_all_cleans_queued_requests():
+    sim = Simulator()
+    lm = LockManager(sim)
+    lm.acquire("t1", "k", LockMode.EXCLUSIVE)
+    f2 = lm.acquire("t2", "k", LockMode.EXCLUSIVE)
+    lm.release_all("t2")  # t2 gives up while queued
+    lm.release_all("t1")
+    assert not f2.done  # its future is abandoned, not resolved
+    assert lm.holders_of("k") == {}
+
+
+# ----------------------------------------------------------------------
+# Snapshot isolation
+# ----------------------------------------------------------------------
+
+def test_si_transaction_sees_snapshot_not_later_commits():
+    store = SnapshotStore()
+    setup = store.begin()
+    setup.write("x", "old")
+    setup.commit()
+    reader = store.begin()
+    writer = store.begin()
+    writer.write("x", "new")
+    writer.commit()
+    assert reader.read("x") == "old"          # snapshot fixed at begin
+    assert store.read_committed("x") == "new"
+
+
+def test_si_read_own_writes_and_deletes():
+    store = SnapshotStore()
+    txn = store.begin()
+    txn.write("x", 1)
+    assert txn.read("x") == 1
+    txn.delete("x")
+    assert txn.read("x") is None
+    txn.write("x", 2)
+    txn.commit()
+    assert store.read_committed("x") == 2
+
+
+def test_first_committer_wins():
+    store = SnapshotStore()
+    t1 = store.begin()
+    t2 = store.begin()
+    t1.write("x", "t1")
+    t2.write("x", "t2")
+    t1.commit()
+    with pytest.raises(TransactionAborted, match="write-write"):
+        t2.commit()
+    assert store.read_committed("x") == "t1"
+    assert store.aborts_ww == 1
+
+
+def test_si_allows_write_skew():
+    # Classic on-call doctors: both read (alice, bob) on call, each
+    # takes themselves off believing the other remains.
+    store = SnapshotStore(isolation="si")
+    setup = store.begin()
+    setup.write("alice", "on-call")
+    setup.write("bob", "on-call")
+    setup.commit()
+    t1 = store.begin()
+    t2 = store.begin()
+    assert t1.read("bob") == "on-call"
+    assert t2.read("alice") == "on-call"
+    t1.write("alice", "off")
+    t2.write("bob", "off")
+    t1.commit()
+    t2.commit()      # SI permits this: disjoint write sets
+    assert store.read_committed("alice") == "off"
+    assert store.read_committed("bob") == "off"  # invariant broken!
+
+
+def test_serializable_mode_prevents_write_skew():
+    store = SnapshotStore(isolation="serializable")
+    setup = store.begin()
+    setup.write("alice", "on-call")
+    setup.write("bob", "on-call")
+    setup.commit()
+    t1 = store.begin()
+    t2 = store.begin()
+    t1.read("bob")
+    t2.read("alice")
+    t1.write("alice", "off")
+    t2.write("bob", "off")
+    t1.commit()
+    with pytest.raises(TransactionAborted, match="read-write"):
+        t2.commit()
+    assert store.aborts_rw == 1
+
+
+def test_operations_on_finished_txn_rejected():
+    store = SnapshotStore()
+    txn = store.begin()
+    txn.write("x", 1)
+    txn.commit()
+    with pytest.raises(TransactionAborted):
+        txn.read("x")
+    with pytest.raises(TransactionAborted):
+        txn.commit()
+
+
+def test_voluntary_abort_discards_writes():
+    store = SnapshotStore()
+    txn = store.begin()
+    txn.write("x", "ghost")
+    txn.abort()
+    assert store.read_committed("x") is None
+    assert store.voluntary_aborts == 1
+
+
+def test_delete_conflicts_detected():
+    store = SnapshotStore()
+    setup = store.begin()
+    setup.write("x", 1)
+    setup.commit()
+    t1 = store.begin()
+    t2 = store.begin()
+    t1.delete("x")
+    t2.write("x", 2)
+    t1.commit()
+    with pytest.raises(TransactionAborted):
+        t2.commit()
+    assert store.read_committed("x") is None
+
+
+def test_abort_rate_metric():
+    store = SnapshotStore()
+    t1 = store.begin()
+    t1.write("x", 1)
+    t1.commit()
+    t2 = store.begin()
+    t3 = store.begin()
+    t2.write("x", 2)
+    t3.write("x", 3)
+    t2.commit()
+    with pytest.raises(TransactionAborted):
+        t3.commit()
+    assert store.abort_rate == pytest.approx(1 / 3)
+
+
+def test_vacuum_after_quiescence():
+    store = SnapshotStore()
+    for i in range(5):
+        txn = store.begin()
+        txn.write("x", i)
+        txn.commit()
+    removed = store.vacuum()
+    assert removed == 4
+    assert store.read_committed("x") == 4
