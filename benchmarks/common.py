@@ -42,3 +42,21 @@ def emit(capsys, text: str) -> None:
     with capsys.disabled():
         print()
         print(text)
+
+
+def traced_sim(seed=0, capacity=None):
+    """A simulator with tracing on: ``(sim, tracer)``.
+
+    Benchmarks default to the no-op tracer (zero overhead); use this
+    when an experiment wants to inspect the event/message timeline.
+    """
+    from repro.sim import Tracer
+
+    tracer = Tracer(capacity=capacity)
+    return Simulator(seed=seed, tracer=tracer), tracer
+
+
+def metrics_report(sim, prefix=""):
+    """Render the sim's metrics registry (optionally one subsystem,
+    e.g. ``prefix="quorum"``) as an aligned text block."""
+    return sim.metrics.render(prefix=prefix)

@@ -15,7 +15,16 @@ For each we report client-observed latency and what the checkers say
 citation.
 
 Run:  python examples/geo_replication.py
+      python examples/geo_replication.py --trace geo.trace.jsonl
+      REPRO_TRACE=geo.trace.jsonl python examples/geo_replication.py
+
+With tracing enabled, the eventual-consistency run records every
+executed event, message send/deliver/drop and protocol annotation;
+the dump is summarized with ``python -m repro trace geo.trace.jsonl``.
 """
+
+import os
+import sys
 
 from repro import Network, Simulator, spawn
 from repro.analysis import LatencyStats, print_table
@@ -71,8 +80,8 @@ def drive(sim, write_fn, read_fn, rounds=ROUNDS):
     sim.run()
 
 
-def run_dynamo(r, w, label, seed=1, remote_reader=False):
-    sim = Simulator(seed=seed)
+def run_dynamo(r, w, label, seed=1, remote_reader=False, tracer=None):
+    sim = Simulator(seed=seed, tracer=tracer)
     ids = [f"dyn{i}" for i in range(3)]
     client_ids = ["dclient-1"]
     extra = []
@@ -110,6 +119,10 @@ def run_dynamo(r, w, label, seed=1, remote_reader=False):
         drive(sim, client.put, client.get)
     history = cluster.history()
     reads, writes = measure(history)
+    if tracer is not None:
+        # Show what the observability layer collected for this run.
+        print("metrics registry for the traced run "
+              f"({label}):\n{sim.metrics.render(prefix='quorum')}\n")
     return [label, round(reads.mean, 1), round(writes.mean, 1),
             round(stale_read_fraction(history), 3),
             check_linearizability(history).ok]
@@ -168,10 +181,15 @@ def run_chain(seed=1):
             check_linearizability(history).ok]
 
 
-def main() -> None:
+def main(trace_path=None) -> None:
     print(__doc__)
+    tracer = None
+    if trace_path:
+        from repro.sim import Tracer
+
+        tracer = Tracer()
     rows = [
-        run_dynamo(1, 1, "eventual (R=W=1)"),
+        run_dynamo(1, 1, "eventual (R=W=1)", tracer=tracer),
         run_dynamo(1, 1, "eventual + far reader", remote_reader=True),
         run_dynamo(2, 2, "quorum (R=W=2)"),
         run_timeline(False, "timeline (read local)"),
@@ -188,7 +206,19 @@ def main() -> None:
         "\nReading down the table is walking up the tutorial's spectrum:"
         "\neach rung buys anomalies away with round trips."
     )
+    if tracer is not None:
+        count = tracer.dump_jsonl(trace_path)
+        summary = tracer.message_summary()
+        print(f"\nwrote {count} trace events to {trace_path} "
+              f"({len(summary)} message types); inspect with:")
+        print(f"  python -m repro trace {trace_path} --summary-only")
 
 
 if __name__ == "__main__":
-    main()
+    # Lightweight arg handling so the script stays runnable through
+    # `python -m repro run geo_replication` (which leaves foreign argv).
+    trace_path = os.environ.get("REPRO_TRACE")
+    argv = sys.argv[1:]
+    if "--trace" in argv and argv.index("--trace") + 1 < len(argv):
+        trace_path = argv[argv.index("--trace") + 1]
+    main(trace_path=trace_path)

@@ -1,6 +1,7 @@
-"""Analysis tooling: latency stats, the PBS staleness model, tables."""
+"""Analysis tooling: latency stats, metrics registry, PBS, tables."""
 
 from .metrics import LatencyStats, throughput
+from .registry import Counter, Gauge, MetricsRegistry
 from .pbs import (
     PBSResult,
     WARSModel,
@@ -14,6 +15,9 @@ from .tables import print_table, render_table
 __all__ = [
     "LatencyStats",
     "throughput",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
     "WARSModel",
     "PBSResult",
     "exponential",

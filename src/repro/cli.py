@@ -6,6 +6,7 @@ Commands
 ``run <example>``       run one example by name (e.g. ``run quickstart``)
 ``pbs``                 print a quick PBS t-visibility grid
 ``spectrum``            print the E1-style consistency spectrum table
+``trace <file.jsonl>``  print a filtered timeline + summary of a sim trace
 ``selftest``            import every module and run a smoke simulation
 
 The heavyweight experiment tables live in ``benchmarks/`` (run with
@@ -93,6 +94,55 @@ def cmd_spectrum(_args: argparse.Namespace) -> int:
     return 2
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .analysis import print_table
+    from .sim.trace import filter_events, kind_counts, load_jsonl, message_summary
+
+    try:
+        events = load_jsonl(args.path)
+    except (OSError, ValueError) as exc:
+        # ValueError covers json.JSONDecodeError on a corrupt line.
+        print(f"cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    selected = filter_events(
+        events,
+        kind=args.kind or None,
+        since=args.since,
+        until=args.until,
+    )
+    if args.type:
+        selected = [
+            ev for ev in selected if ev.data.get("msg_type") == args.type
+        ]
+
+    if not args.summary_only:
+        limit = args.limit if args.limit > 0 else len(selected)
+        for event in selected[:limit]:
+            print(event.format_line())
+        if len(selected) > limit:
+            print(f"... {len(selected) - limit} more events "
+                  f"(raise --limit to see them)")
+        print()
+
+    print_table(
+        ["kind", "count"],
+        sorted(kind_counts(selected).items()),
+        title=f"{len(selected)}/{len(events)} trace events selected",
+    )
+    summary = message_summary(selected)
+    if summary:
+        print()
+        print_table(
+            ["message type", "sent", "delivered", "dropped"],
+            [
+                [name, row["sent"], row["delivered"], row["dropped"]]
+                for name, row in sorted(summary.items())
+            ],
+            title="per-message-type summary",
+        )
+    return 0
+
+
 def cmd_selftest(_args: argparse.Namespace) -> int:
     import pkgutil
 
@@ -147,6 +197,27 @@ def main(argv: list[str] | None = None) -> int:
     pbs_parser.add_argument("--wan", action="store_true")
 
     sub.add_parser("spectrum", help="print the consistency spectrum table")
+
+    trace_parser = sub.add_parser(
+        "trace", help="summarize a JSONL trace dumped by repro.sim.Tracer"
+    )
+    trace_parser.add_argument("path", help="trace file (.jsonl)")
+    trace_parser.add_argument(
+        "--kind", action="append", default=[],
+        help="keep only this event kind (repeatable), e.g. msg_drop",
+    )
+    trace_parser.add_argument(
+        "--type", help="keep only messages of this payload type"
+    )
+    trace_parser.add_argument("--since", type=float, default=None,
+                              help="keep events at/after this sim time (ms)")
+    trace_parser.add_argument("--until", type=float, default=None,
+                              help="keep events at/before this sim time (ms)")
+    trace_parser.add_argument("--limit", type=int, default=40,
+                              help="timeline lines to print (0 = all)")
+    trace_parser.add_argument("--summary-only", action="store_true",
+                              help="skip the timeline, print only summaries")
+
     sub.add_parser("selftest", help="import everything + smoke simulation")
 
     args = parser.parse_args(argv)
@@ -155,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "pbs": cmd_pbs,
         "spectrum": cmd_spectrum,
+        "trace": cmd_trace,
         "selftest": cmd_selftest,
     }
     return handlers[args.command](args)

@@ -95,6 +95,8 @@ class GossipReplica(Node):
         for key, value, stamp in entries:
             if self._apply(key, value, stamp):
                 changed += 1
+        if changed:
+            self.cluster._c_entries_merged.inc(changed)
         return changed
 
     def snapshot(self) -> dict:
@@ -112,7 +114,9 @@ class GossipReplica(Node):
         fanout = min(self.cluster.fanout, len(peers))
         chosen = self.sim.rng.sample(peers, fanout)
         for peer in chosen:
-            self.cluster.rounds_started += 1
+            self.cluster._c_rounds_started.inc()
+            self.sim.annotate("gossip_round", initiator=self.node_id,
+                              peer=peer, strategy=self.cluster.strategy)
             if self.cluster.strategy == "full":
                 self.send(peer, FullState(self._all_entries(), reply_expected=True))
             else:
@@ -204,10 +208,19 @@ class GossipCluster:
         self.merkle_depth = merkle_depth
         ids = node_ids or [f"g{i}" for i in range(nodes)]
         self.node_ids = list(ids)
-        self.rounds_started = 0
+        self._c_rounds_started = sim.metrics.counter("gossip.rounds_started")
+        self._c_entries_merged = sim.metrics.counter("gossip.entries_merged")
         self.replicas = [
             GossipReplica(sim, network, node_id, self) for node_id in ids
         ]
+
+    @property
+    def rounds_started(self) -> int:
+        return self._c_rounds_started.value
+
+    @property
+    def entries_merged(self) -> int:
+        return self._c_entries_merged.value
 
     def replica(self, index: int) -> GossipReplica:
         return self.replicas[index]

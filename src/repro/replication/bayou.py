@@ -68,9 +68,14 @@ class BayouReplica(Node):
         self._writes: dict[LamportStamp, BayouWrite] = {}
         self._commits: dict[LamportStamp, int] = {}     # stamp -> CSN
         self._next_csn = 0                              # primary only
-        self.rollbacks = 0
+        self._c_rollbacks = sim.metrics.counter(f"bayou.{node_id}.rollbacks")
+        self._c_commits = sim.metrics.counter("bayou.commits")
         if cluster.interval is not None:
             self.every(cluster.interval, self.anti_entropy_once, jitter=0.5)
+
+    @property
+    def rollbacks(self) -> int:
+        return self._c_rollbacks.value
 
     # ------------------------------------------------------------------
     # Client API
@@ -133,7 +138,9 @@ class BayouReplica(Node):
             s for s in self._writes if s not in self._commits
         ]
         if any(record.stamp < stamp for stamp in tentative):
-            self.rollbacks += 1
+            self._c_rollbacks.inc()
+            self.sim.annotate("bayou_rollback", node=self.node_id,
+                              key=record.key)
         self._writes[record.stamp] = record
         self.clock.observe(record.stamp)
         if self.is_primary:
@@ -149,6 +156,7 @@ class BayouReplica(Node):
         for stamp in uncommitted:
             self._commits[stamp] = self._next_csn
             self._next_csn += 1
+            self._c_commits.inc()
 
     # ------------------------------------------------------------------
     # Anti-entropy

@@ -86,12 +86,14 @@ class CausalReplica(ServerNode):
         envelope = self.buffer.stamp_local(
             _WritePayload(payload.key, payload.value)
         )
+        self.cluster._c_writes_local.inc()
         for peer in self.cluster.node_ids:
             if peer != self.node_id:
                 self.send(peer, envelope)
         return _rank_of(envelope)
 
     def serve_CGetLocal(self, src: Hashable, payload: CGetLocal):
+        self.cluster._c_reads_local.inc()
         value, rank = self.data.get(payload.key, (None, None))
         return value, rank
 
@@ -102,6 +104,7 @@ class CausalReplica(ServerNode):
     def _apply(self, envelope: OpEnvelope) -> None:
         payload: _WritePayload = envelope.payload
         rank = _rank_of(envelope)
+        self.cluster._c_ops_applied.inc()
         current = self.data.get(payload.key)
         if current is None or rank > current[1]:
             self.data[payload.key] = (payload.value, rank)
@@ -194,6 +197,11 @@ class CausalCluster:
         self.sim = sim
         self.network = network
         self.node_ids = list(ids)
+        metrics = sim.metrics
+        self._c_writes_local = metrics.counter("causal.writes_local")
+        self._c_reads_local = metrics.counter("causal.reads_local")
+        self._c_ops_applied = metrics.counter("causal.ops_applied")
+        self._g_pending = metrics.gauge("causal.pending")
         self.replicas = [CausalReplica(sim, network, i, self) for i in ids]
         self._clients = 0
         self._raw_ops: list[_RawOp] = []
@@ -251,4 +259,6 @@ class CausalCluster:
 
     def pending_total(self) -> int:
         """Writes still held back waiting for causal dependencies."""
-        return sum(r.buffer.pending_count for r in self.replicas)
+        total = sum(r.buffer.pending_count for r in self.replicas)
+        self._g_pending.set(total)
+        return total

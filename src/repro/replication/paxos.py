@@ -113,6 +113,10 @@ class Proposer(Node):
         self.on_decided = on_decided or (lambda value: None)
         self.max_retries = max_retries
         self.backoff = backoff
+        metrics = sim.metrics
+        self._c_rounds = metrics.counter("paxos.rounds_started")
+        self._c_nacks = metrics.counter("paxos.nacks")
+        self._c_decided = metrics.counter("paxos.decided")
         self.round = 0
         self.ballot: Ballot = NO_BALLOT
         self.my_value: Any = None
@@ -135,6 +139,7 @@ class Proposer(Node):
 
     def _start_round(self) -> None:
         self.round += 1
+        self._c_rounds.inc()
         self.ballot = (self.round, str(self.node_id))
         self.phase = "prepare"
         self._promises = {}
@@ -145,6 +150,7 @@ class Proposer(Node):
     def _retry(self, observed: Ballot) -> None:
         if self.phase == "done":
             return
+        self._c_nacks.inc()
         self._retries += 1
         if self._retries > self.max_retries:
             self.phase = "idle"
@@ -185,6 +191,9 @@ class Proposer(Node):
         if len(self._accepts) >= self.majority:
             self.phase = "done"
             self.decided_value = self._chosen_for_round
+            self._c_decided.inc()
+            self.sim.annotate("paxos_decided", proposer=self.node_id,
+                              ballot=self.ballot)
             self.on_decided(self.decided_value)
 
     def handle_AcceptNack(self, src: Hashable, msg: AcceptNack) -> None:

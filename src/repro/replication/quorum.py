@@ -213,7 +213,7 @@ class DynamoNode(ServerNode):
         op.responded.add(src)
         if op.acks >= op.needed and not op.future.done:
             op.future.resolve((op.value, op.stamp))
-            self.cluster.writes_succeeded += 1
+            self.cluster._c_writes_succeeded.inc()
 
     def handle_FetchReply(self, src: Hashable, msg: FetchReply) -> None:
         op = self._ops.get(msg.op_id)
@@ -236,7 +236,9 @@ class DynamoNode(ServerNode):
         for target, _value, replica_stamp in op.replies:
             if replica_stamp is None or replica_stamp < stamp:
                 self.send(target, StoreMsg(repair_id, op.key, value, stamp))
-                self.cluster.read_repairs += 1
+                self.cluster._c_read_repairs.inc()
+                self.sim.annotate("read_repair", key=op.key,
+                                  coordinator=self.node_id, target=target)
 
     # -- sloppy quorum / hinted handoff ---------------------------------------
     def _write_fallback(self, op_id: int) -> None:
@@ -254,7 +256,9 @@ class DynamoNode(ServerNode):
                 stand_in,
                 StoreMsg(op_id, op.key, op.value, op.stamp, hint_for=home),
             )
-            self.cluster.hinted_writes += 1
+            self.cluster._c_hinted_writes.inc()
+            self.sim.annotate("hinted_write", key=op.key, home=home,
+                              stand_in=stand_in)
 
     def _push_hints(self) -> None:
         for home, entries in list(self.hints.items()):
@@ -266,7 +270,7 @@ class DynamoNode(ServerNode):
                     hint_id = self._next_op()
                     self.send(home, StoreMsg(hint_id, key, value, stamp))
                     del entries[key]
-                    self.cluster.hints_delivered += 1
+                    self.cluster._c_hints_delivered.inc()
 
     # -- lifecycle ---------------------------------------------------------
     def _expire(self, op_id: int) -> None:
@@ -282,9 +286,9 @@ class DynamoNode(ServerNode):
                 )
             )
             if op.kind == "write":
-                self.cluster.writes_failed += 1
+                self.cluster._c_writes_failed.inc()
             else:
-                self.cluster.reads_failed += 1
+                self.cluster._c_reads_failed.inc()
 
 
 def _freshest(replies: list) -> tuple[Any, LamportStamp | None]:
@@ -389,6 +393,7 @@ class DynamoClient(ClientNode):
                     _RawOp("write", key, self.session, start, self.sim.now,
                            stamp, value, coordinator)
                 )
+                self.cluster._lat_writes.record(self.sim.now - start)
                 outer.resolve(stamp)
 
         inner.add_callback(done)
@@ -417,6 +422,7 @@ class DynamoClient(ClientNode):
                     _RawOp("read", key, self.session, start, self.sim.now,
                            stamp, value, coordinator)
                 )
+                self.cluster._lat_reads.record(self.sim.now - start)
                 outer.resolve((value, stamp))
 
         inner.add_callback(done)
@@ -469,16 +475,44 @@ class DynamoCluster:
         self.hint_interval = hint_interval
         self.coordinator_policy = coordinator_policy
         self.ring = HashRing(ids, vnodes=vnodes)
+        # Counters the experiments read — published into the sim-wide
+        # metrics registry (two clusters on one sim share them).
+        metrics = sim.metrics
+        self._c_read_repairs = metrics.counter("quorum.read_repairs")
+        self._c_hinted_writes = metrics.counter("quorum.hinted_writes")
+        self._c_hints_delivered = metrics.counter("quorum.hints_delivered")
+        self._c_writes_succeeded = metrics.counter("quorum.writes_succeeded")
+        self._c_writes_failed = metrics.counter("quorum.writes_failed")
+        self._c_reads_failed = metrics.counter("quorum.reads_failed")
+        self._lat_reads = metrics.latency("quorum.read_ms")
+        self._lat_writes = metrics.latency("quorum.write_ms")
         self.nodes = [DynamoNode(sim, network, node_id, self) for node_id in ids]
         self._raw_ops: list[_RawOp] = []
         self._clients = 0
-        # Counters the experiments read.
-        self.read_repairs = 0
-        self.hinted_writes = 0
-        self.hints_delivered = 0
-        self.writes_succeeded = 0
-        self.writes_failed = 0
-        self.reads_failed = 0
+
+    @property
+    def read_repairs(self) -> int:
+        return self._c_read_repairs.value
+
+    @property
+    def hinted_writes(self) -> int:
+        return self._c_hinted_writes.value
+
+    @property
+    def hints_delivered(self) -> int:
+        return self._c_hints_delivered.value
+
+    @property
+    def writes_succeeded(self) -> int:
+        return self._c_writes_succeeded.value
+
+    @property
+    def writes_failed(self) -> int:
+        return self._c_writes_failed.value
+
+    @property
+    def reads_failed(self) -> int:
+        return self._c_reads_failed.value
 
     def node(self, node_id: Hashable) -> DynamoNode:
         for node in self.nodes:

@@ -179,7 +179,7 @@ class SiblingDynamoNode(ServerNode):
                 self.send(target, message)
         if op.acks >= op.needed:
             future.resolve(dict(op.payload_clock))
-            cluster.writes_succeeded += 1
+            cluster._c_writes_succeeded.inc()
             return future
         self.set_timer(cluster.replica_timeout, self._write_fallback, op_id)
         self.set_timer(cluster.op_deadline, self._expire, op_id)
@@ -224,7 +224,7 @@ class SiblingDynamoNode(ServerNode):
         if op.acks >= op.needed and not op.future.done:
             # Reply with the new causal context for chaining writes.
             op.future.resolve(dict(op.payload_clock))
-            self.cluster.writes_succeeded += 1
+            self.cluster._c_writes_succeeded.inc()
 
     def handle_SibFetchReply(self, src: Hashable, msg: SibFetchReply) -> None:
         op = self._ops.get(msg.op_id)
@@ -250,7 +250,7 @@ class SiblingDynamoNode(ServerNode):
                 merged.versions
             ):
                 self.send(src, SibStoreMsg(repair_id, op.key, versions, clock))
-                self.cluster.read_repairs += 1
+                self.cluster._c_read_repairs.inc()
 
     # -- sloppy quorum ------------------------------------------------------
     def _write_fallback(self, op_id: int) -> None:
@@ -269,7 +269,7 @@ class SiblingDynamoNode(ServerNode):
                 SibStoreMsg(op_id, op.key, op.payload_versions,
                             op.payload_clock, hint_for=home),
             )
-            self.cluster.hinted_writes += 1
+            self.cluster._c_hinted_writes.inc()
 
     def _push_hints(self) -> None:
         for home, entries in list(self.hints.items()):
@@ -283,7 +283,7 @@ class SiblingDynamoNode(ServerNode):
                         home, SibStoreMsg(self._next_op(), key, versions, clock)
                     )
                     del entries[key]
-                    self.cluster.hints_delivered += 1
+                    self.cluster._c_hints_delivered.inc()
 
     def _expire(self, op_id: int) -> None:
         op = self._ops.pop(op_id, None)
@@ -402,14 +402,33 @@ class SiblingDynamoCluster:
         self.client_timeout = client_timeout
         self.hint_interval = hint_interval
         self.ring = HashRing(ids, vnodes=vnodes)
+        metrics = sim.metrics
+        self._c_read_repairs = metrics.counter("sibling_quorum.read_repairs")
+        self._c_hinted_writes = metrics.counter("sibling_quorum.hinted_writes")
+        self._c_hints_delivered = metrics.counter(
+            "sibling_quorum.hints_delivered")
+        self._c_writes_succeeded = metrics.counter(
+            "sibling_quorum.writes_succeeded")
         self.nodes = [
             SiblingDynamoNode(sim, network, node_id, self) for node_id in ids
         ]
         self._clients = 0
-        self.read_repairs = 0
-        self.hinted_writes = 0
-        self.hints_delivered = 0
-        self.writes_succeeded = 0
+
+    @property
+    def read_repairs(self) -> int:
+        return self._c_read_repairs.value
+
+    @property
+    def hinted_writes(self) -> int:
+        return self._c_hinted_writes.value
+
+    @property
+    def hints_delivered(self) -> int:
+        return self._c_hints_delivered.value
+
+    @property
+    def writes_succeeded(self) -> int:
+        return self._c_writes_succeeded.value
 
     def node(self, node_id: Hashable) -> SiblingDynamoNode:
         for node in self.nodes:

@@ -22,6 +22,7 @@ from .network import (
 )
 from .node import Node
 from .process import Future, Process, all_of, spawn
+from .trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
 from .topology import (
     SINGLE_DC,
     THREE_CONTINENTS,
@@ -51,6 +52,10 @@ __all__ = [
     "Process",
     "spawn",
     "all_of",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
     "Topology",
     "TOPOLOGIES",
     "SINGLE_DC",

@@ -16,8 +16,14 @@ from __future__ import annotations
 import random
 from typing import Any, Callable
 
+from ..analysis.registry import MetricsRegistry
 from ..errors import SimulationError
 from .events import Event, EventQueue
+from .trace import NULL_TRACER
+
+
+def _fn_name(fn: Callable[..., Any]) -> str:
+    return getattr(fn, "__qualname__", None) or repr(fn)
 
 
 class Simulator:
@@ -29,6 +35,14 @@ class Simulator:
         Seed for the simulator's RNG.  Two simulators built with the
         same seed and driven by the same code produce byte-identical
         traces.
+    tracer:
+        Optional :class:`repro.sim.trace.Tracer`.  Defaults to the
+        shared no-op tracer, so untraced runs pay only an ``enabled``
+        check at each hook point.
+    metrics:
+        Optional :class:`repro.analysis.registry.MetricsRegistry`;
+        one is created per simulator by default.  The network and the
+        replication protocols publish their counters here.
 
     Examples
     --------
@@ -43,14 +57,27 @@ class Simulator:
     5.0
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.seed = seed
         self.rng = random.Random(seed)
         self.now: float = 0.0
+        self.trace = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
         self.events_processed = 0
+
+    def annotate(self, category: str, **data: Any) -> None:
+        """Record a protocol-defined trace annotation at the current
+        simulated time (no-op when tracing is disabled)."""
+        if self.trace.enabled:
+            self.trace.annotate(self.now, category, **data)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -97,9 +124,13 @@ class Simulator:
         Parameters
         ----------
         until:
-            Stop once the clock would pass this time.  The clock is
-            advanced to ``until`` on return, so periodic timers can be
-            resumed by a later ``run`` call.
+            Stop once the clock would pass this time.  When the queue
+            was drained up to ``until``, the clock is advanced to
+            ``until`` on return, so periodic timers can be resumed by a
+            later ``run`` call.  If the run broke early (``max_events``
+            or :meth:`stop`) with live events still due before
+            ``until``, the clock stays at the last executed event so a
+            later ``run``/:meth:`step` resumes without time-travel.
         max_events:
             Safety valve — stop after this many events.
         """
@@ -121,6 +152,12 @@ class Simulator:
                 if event.time < self.now:  # pragma: no cover - defensive
                     raise SimulationError("event queue yielded an event in the past")
                 self.now = event.time
+                if self.trace.enabled:
+                    self.trace.record(
+                        event.time, "event_executed",
+                        fn=_fn_name(event.fn), seq=event.seq,
+                        daemon=event.daemon,
+                    )
                 event.fn(*event.args)
                 processed += 1
                 self.events_processed += 1
@@ -129,16 +166,30 @@ class Simulator:
                 if max_events is not None and processed >= max_events:
                     break
             if until is not None and not self._stopped and self.now < until:
-                self.now = until
+                # Fast-forward to the deadline only if nothing is still
+                # due before it — a max_events break leaves live events
+                # behind, and jumping the clock past them would corrupt
+                # the next run()/step() (events "in the past").
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > until:
+                    self.now = until
         finally:
             self._running = False
 
     def step(self) -> bool:
         """Process exactly one event.  Returns ``False`` when idle."""
-        if not self._queue:
+        next_time = self._queue.peek_time()
+        if next_time is None:
             return False
+        if next_time < self.now:  # same guard as run()
+            raise SimulationError("event queue yielded an event in the past")
         event = self._queue.pop()
         self.now = event.time
+        if self.trace.enabled:
+            self.trace.record(
+                event.time, "event_executed",
+                fn=_fn_name(event.fn), seq=event.seq, daemon=event.daemon,
+            )
         event.fn(*event.args)
         self.events_processed += 1
         return True

@@ -12,11 +12,12 @@ a node's own id is allowed (loopback) and uses ``loopback_latency``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Protocol
 
+from ..analysis.registry import MetricsRegistry
 from ..errors import NetworkError
 from .core import Simulator
+from .trace import MSG_DELIVER, MSG_DROP, MSG_SEND
 
 NodeId = Hashable
 
@@ -148,22 +149,74 @@ def estimate_size(obj: Any) -> int:
     return 16
 
 
-@dataclass
 class NetworkStats:
-    """Counters the analysis layer reads after a run."""
+    """Registry-backed view of the network's counters.
 
-    messages_sent: int = 0
-    messages_delivered: int = 0
-    messages_dropped_loss: int = 0
-    messages_dropped_partition: int = 0
-    messages_dropped_crash: int = 0
-    messages_duplicated: int = 0
-    bytes_sent: int = 0
-    by_type: dict = field(default_factory=dict)
+    Keeps the attribute API the analysis layer and the tests have
+    always read (``stats.messages_sent`` …), but the values now live
+    in the simulator's :class:`MetricsRegistry` under ``net.*`` so
+    they show up next to every other metric of a run.
+    """
+
+    _COUNTERS = (
+        "messages_sent",
+        "messages_delivered",
+        "messages_dropped_loss",
+        "messages_dropped_partition",
+        "messages_dropped_crash",
+        "messages_duplicated",
+        "bytes_sent",
+    )
+
+    def __init__(self, registry: MetricsRegistry, prefix: str = "net") -> None:
+        self._registry = registry
+        self._prefix = prefix
+        for name in self._COUNTERS:
+            setattr(self, "_" + name, registry.counter(f"{prefix}.{name}"))
+        self._type_counters: dict[str, Any] = {}
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent.value
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered.value
+
+    @property
+    def messages_dropped_loss(self) -> int:
+        return self._messages_dropped_loss.value
+
+    @property
+    def messages_dropped_partition(self) -> int:
+        return self._messages_dropped_partition.value
+
+    @property
+    def messages_dropped_crash(self) -> int:
+        return self._messages_dropped_crash.value
+
+    @property
+    def messages_duplicated(self) -> int:
+        return self._messages_duplicated.value
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent.value
+
+    @property
+    def by_type(self) -> dict:
+        return {
+            name: counter.value
+            for name, counter in self._type_counters.items()
+        }
 
     def record_type(self, message: Any) -> None:
         name = type(message).__name__
-        self.by_type[name] = self.by_type.get(name, 0) + 1
+        counter = self._type_counters.get(name)
+        if counter is None:
+            counter = self._registry.counter(f"{self._prefix}.by_type.{name}")
+            self._type_counters[name] = counter
+        counter.inc()
 
 
 class Network:
@@ -205,7 +258,7 @@ class Network:
         self.duplicate_rate = duplicate_rate
         self.loopback_latency = loopback_latency
         self.track_bytes = track_bytes
-        self.stats = NetworkStats()
+        self.stats = NetworkStats(sim.metrics)
         self._nodes: dict[NodeId, Any] = {}
         self._partition: dict[NodeId, int] | None = None
 
@@ -272,20 +325,43 @@ class Network:
         protocol code must tolerate them."""
         if dst not in self._nodes:
             raise NetworkError(f"unknown destination {dst!r}")
-        self.stats.messages_sent += 1
-        self.stats.record_type(message)
+        stats = self.stats
+        trace = self.sim.trace
+        stats._messages_sent.inc()
+        stats.record_type(message)
         if self.track_bytes:
-            self.stats.bytes_sent += estimate_size(message)
+            stats._bytes_sent.inc(estimate_size(message))
+        if trace.enabled:
+            trace.record(self.sim.now, MSG_SEND, src=src, dst=dst,
+                         msg_type=type(message).__name__)
+        src_node = self._nodes.get(src)
+        if src_node is not None and getattr(src_node, "crashed", False):
+            # Fail-stop means a crashed node cannot put messages on the
+            # wire, not just that it stops hearing them.
+            stats._messages_dropped_crash.inc()
+            if trace.enabled:
+                trace.record(self.sim.now, MSG_DROP, reason="crash",
+                             src=src, dst=dst,
+                             msg_type=type(message).__name__)
+            return
         if not self.reachable(src, dst):
-            self.stats.messages_dropped_partition += 1
+            stats._messages_dropped_partition.inc()
+            if trace.enabled:
+                trace.record(self.sim.now, MSG_DROP, reason="partition",
+                             src=src, dst=dst,
+                             msg_type=type(message).__name__)
             return
         copies = 1
         if self.duplicate_rate and self.sim.rng.random() < self.duplicate_rate:
             copies = 2
-            self.stats.messages_duplicated += 1
+            stats._messages_duplicated.inc()
         for _ in range(copies):
             if self.loss_rate and self.sim.rng.random() < self.loss_rate:
-                self.stats.messages_dropped_loss += 1
+                stats._messages_dropped_loss.inc()
+                if trace.enabled:
+                    trace.record(self.sim.now, MSG_DROP, reason="loss",
+                                 src=src, dst=dst,
+                                 msg_type=type(message).__name__)
                 continue
             delay = (
                 self.loopback_latency
@@ -295,7 +371,10 @@ class Network:
             self.sim.schedule(delay, self._deliver, src, dst, message)
 
     def broadcast(self, src: NodeId, message: Any, include_self: bool = False) -> None:
-        for dst in self._nodes:
+        # Snapshot the membership: a callback reached from send() (e.g.
+        # a latency model or future dynamic-membership hook registering
+        # a node) must not blow up the iteration.
+        for dst in list(self._nodes):
             if dst == src and not include_self:
                 continue
             self.send(src, dst, message)
@@ -304,8 +383,16 @@ class Network:
         node = self._nodes.get(dst)
         if node is None:  # pragma: no cover - node removed mid-flight
             return
+        trace = self.sim.trace
         if getattr(node, "crashed", False):
-            self.stats.messages_dropped_crash += 1
+            self.stats._messages_dropped_crash.inc()
+            if trace.enabled:
+                trace.record(self.sim.now, MSG_DROP, reason="crash",
+                             src=src, dst=dst,
+                             msg_type=type(message).__name__)
             return
-        self.stats.messages_delivered += 1
+        self.stats._messages_delivered.inc()
+        if trace.enabled:
+            trace.record(self.sim.now, MSG_DELIVER, src=src, dst=dst,
+                         msg_type=type(message).__name__)
         node.deliver(src, message)

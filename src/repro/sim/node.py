@@ -132,6 +132,9 @@ class Node:
         if self.crashed:
             return
         self.crashed = True
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "node_crash",
+                                  node=self.node_id)
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()
@@ -142,6 +145,9 @@ class Node:
         if not self.crashed:
             return
         self.crashed = False
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "node_recover",
+                                  node=self.node_id)
         self.on_recover()
 
     def on_crash(self) -> None:

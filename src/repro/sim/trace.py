@@ -1,0 +1,236 @@
+"""Structured execution tracing for the simulator.
+
+A :class:`Tracer` records a timeline of structured
+:class:`TraceEvent` records — one per executed simulator event,
+message send/deliver/drop, node crash/recover, plus free-form
+protocol annotations — that can be filtered in-process, dumped to
+JSONL, and summarized from the command line (``python -m repro
+trace``).
+
+Tracing is **off by default and costs (almost) nothing when off**:
+every hook site in :mod:`repro.sim.core`, :mod:`repro.sim.network`
+and :mod:`repro.sim.node` guards on ``tracer.enabled``, and the
+default :data:`NULL_TRACER` answers ``enabled = False``, so an
+untraced simulation pays one attribute check per hook and never
+allocates a record.
+
+Enable tracing by constructing the simulator with a live tracer::
+
+    from repro.sim import Simulator, Tracer
+
+    tracer = Tracer()
+    sim = Simulator(seed=7, tracer=tracer)
+    ...  # build a cluster, run a workload
+    tracer.dump_jsonl("run.trace.jsonl")
+
+then inspect with ``python -m repro trace run.trace.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+# Canonical event kinds.  Protocol annotations use ANNOTATION with a
+# free-form ``category`` field; everything else is emitted by the sim
+# substrate itself.
+EVENT_EXECUTED = "event_executed"
+MSG_SEND = "msg_send"
+MSG_DELIVER = "msg_deliver"
+MSG_DROP = "msg_drop"
+NODE_CRASH = "node_crash"
+NODE_RECOVER = "node_recover"
+ANNOTATION = "annotation"
+
+_MESSAGE_KINDS = (MSG_SEND, MSG_DELIVER, MSG_DROP)
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record: a timestamp, a kind, and fields."""
+
+    time: float
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        record: dict[str, Any] = {"time": round(self.time, 6), "kind": self.kind}
+        record.update(self.data)
+        # Node ids and payload fields are arbitrary Python values;
+        # repr() keeps the dump total rather than throwing mid-export.
+        return json.dumps(record, default=repr)
+
+    def format_line(self) -> str:
+        fields = " ".join(f"{key}={value}" for key, value in self.data.items())
+        return f"{self.time:12.3f}  {self.kind:<15} {fields}"
+
+
+class NullTracer:
+    """The default tracer: records nothing, accepts everything."""
+
+    enabled = False
+
+    def record(self, time: float, kind: str, **data: Any) -> None:
+        pass
+
+    def annotate(self, time: float, category: str, **data: Any) -> None:
+        pass
+
+
+#: Shared no-op instance used by every simulator without a tracer.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records structured events into an in-memory timeline.
+
+    Parameters
+    ----------
+    capacity:
+        Optional cap on retained events.  Once full, further records
+        are counted in :attr:`dropped` instead of stored — a safety
+        valve for long benchmark runs.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.events: list[TraceEvent] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    # -- recording -----------------------------------------------------
+    def record(self, time: float, kind: str, **data: Any) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, kind, data))
+
+    def annotate(self, time: float, category: str, **data: Any) -> None:
+        """Protocol-defined annotation (kind=``annotation``)."""
+        self.record(time, ANNOTATION, category=category, **data)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    # -- inspection ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def filter(
+        self,
+        kind: str | Iterable[str] | None = None,
+        since: float | None = None,
+        until: float | None = None,
+        **match: Any,
+    ) -> list[TraceEvent]:
+        """Events matching a kind (or kinds), a time window, and exact
+        field values (e.g. ``filter(kind="msg_drop", reason="crash")``)."""
+        return filter_events(self.events, kind=kind, since=since,
+                             until=until, **match)
+
+    def message_summary(self) -> dict[str, dict[str, int]]:
+        """Per-message-type sent/delivered/dropped counts."""
+        return message_summary(self.events)
+
+    def kind_counts(self) -> dict[str, int]:
+        return kind_counts(self.events)
+
+    # -- export --------------------------------------------------------
+    def dump_jsonl(self, path) -> int:
+        """Write one JSON object per line; returns the event count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(event.to_json())
+                handle.write("\n")
+        return len(self.events)
+
+    def dumps_jsonl(self) -> str:
+        return "".join(event.to_json() + "\n" for event in self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tracer events={len(self.events)} dropped={self.dropped}>"
+
+
+# ---------------------------------------------------------------------------
+# Free functions shared by Tracer and the `repro trace` CLI (which
+# operates on events loaded back from JSONL).
+# ---------------------------------------------------------------------------
+
+
+def filter_events(
+    events: Iterable[TraceEvent],
+    kind: str | Iterable[str] | None = None,
+    since: float | None = None,
+    until: float | None = None,
+    **match: Any,
+) -> list[TraceEvent]:
+    kinds: set[str] | None
+    if kind is None:
+        kinds = None
+    elif isinstance(kind, str):
+        kinds = {kind}
+    else:
+        kinds = set(kind)
+    out = []
+    for event in events:
+        if kinds is not None and event.kind not in kinds:
+            continue
+        if since is not None and event.time < since:
+            continue
+        if until is not None and event.time > until:
+            continue
+        if match and any(
+            event.data.get(key) != value for key, value in match.items()
+        ):
+            continue
+        out.append(event)
+    return out
+
+
+def message_summary(events: Iterable[TraceEvent]) -> dict[str, dict[str, int]]:
+    """``{message type: {"sent": n, "delivered": n, "dropped": n}}``."""
+    summary: dict[str, dict[str, int]] = {}
+    for event in events:
+        if event.kind not in _MESSAGE_KINDS:
+            continue
+        msg_type = str(event.data.get("msg_type", "?"))
+        row = summary.setdefault(
+            msg_type, {"sent": 0, "delivered": 0, "dropped": 0}
+        )
+        if event.kind == MSG_SEND:
+            row["sent"] += 1
+        elif event.kind == MSG_DELIVER:
+            row["delivered"] += 1
+        else:
+            row["dropped"] += 1
+    return summary
+
+
+def kind_counts(events: Iterable[TraceEvent]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts
+
+
+def load_jsonl(path) -> list[TraceEvent]:
+    """Read a trace dumped by :meth:`Tracer.dump_jsonl`."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            time = float(record.pop("time", 0.0))
+            kind = str(record.pop("kind", "?"))
+            events.append(TraceEvent(time, kind, record))
+    return events

@@ -159,6 +159,24 @@ def test_crashed_replica_catches_up_after_recovery():
     assert straggler.read("k") == "v"
 
 
+def test_crashed_replica_stops_gossiping():
+    # Fail-stop at the network layer: even a send issued on behalf of a
+    # crashed replica (e.g. a stray timer or buggy protocol code) is
+    # dropped at the wire, so its unique data cannot leak out.
+    sim, net, cluster = make_cluster(seed=8, nodes=3, interval=None)
+    from repro.replication.anti_entropy import FullState
+
+    dead = cluster.replicas[0]
+    dead.write("secret", "only-here")
+    dead.crash()
+    before = net.stats.messages_dropped_crash
+    net.send(dead.node_id, cluster.replicas[1].node_id,
+             FullState(dead._all_entries(), reply_expected=True))
+    sim.run()
+    assert net.stats.messages_dropped_crash == before + 1
+    assert cluster.replicas[1].read("secret") is None
+
+
 def test_gossip_cluster_validations():
     sim = Simulator()
     net = Network(sim)

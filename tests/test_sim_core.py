@@ -227,3 +227,78 @@ def test_run_until_processes_daemon_events():
     sim.schedule_daemon(10.0, tick)
     sim.run(until=45.0)
     assert ticks == [10.0, 20.0, 30.0, 40.0]
+
+
+def test_max_events_with_until_does_not_jump_clock():
+    # Regression: run(until=U, max_events=N) used to fast-forward the
+    # clock to U even when it broke early on max_events with live
+    # events still queued before U — the next run() then popped an
+    # event "in the past" and raised SimulationError.
+    sim = Simulator()
+    out = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, out.append, t)
+    sim.run(until=10.0, max_events=1)
+    assert out == [1.0]
+    assert sim.now == 1.0  # NOT 10.0: events at 2.0 and 3.0 are live
+    sim.run()  # must not raise
+    assert out == [1.0, 2.0, 3.0]
+
+
+def test_max_events_with_until_resumes_to_deadline():
+    # After draining the queue under the budget, a later run(until=...)
+    # still fast-forwards the clock as before.
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "a")
+    sim.run(until=10.0, max_events=5)
+    assert out == ["a"]
+    assert sim.now == 10.0  # queue empty: deadline advance preserved
+
+
+def test_stop_prevents_deadline_fast_forward():
+    sim = Simulator()
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=50.0)
+    assert sim.now == 1.0  # stop() freezes the clock at the stop point
+    sim.run()
+    assert sim.now == 2.0
+
+
+def test_step_rejects_event_in_the_past():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    # Corrupt the queue directly (bypassing schedule-time validation)
+    # to prove step() has the same monotonicity guard as run().
+    sim._queue.push(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_step_after_deadline_advanced_run():
+    # run(until=...) may fast-forward now past the next event's
+    # schedule-time; step() on a fresh event afterwards must work.
+    sim = Simulator()
+    sim.run(until=10.0)
+    out = []
+    sim.schedule(1.0, out.append, "x")
+    assert sim.step() is True
+    assert out == ["x"]
+    assert sim.now == 11.0
+
+
+def test_step_skips_cancelled_events_and_keeps_accounting():
+    sim = Simulator()
+    out = []
+    event = sim.schedule(1.0, out.append, "cancelled")
+    sim.schedule(2.0, out.append, "kept")
+    event.cancel()
+    assert sim.pending_events == 1
+    assert sim.step() is True  # pops past the cancelled entry
+    assert out == ["kept"]
+    assert sim.now == 2.0
+    assert sim.step() is False
+    assert sim.pending_events == 0

@@ -131,6 +131,59 @@ def test_crashed_node_drops_incoming():
     assert net.stats.messages_dropped_crash == 1
 
 
+def test_crashed_source_cannot_send():
+    # Regression: fail-stop means a crashed node must not put messages
+    # on the wire — Network.send used to only check the *destination*,
+    # so a crashed replica's queued timers could still gossip.
+    sim, net, nodes = make_net()
+    nodes["a"].crashed = True
+    net.send("a", "b", "from-the-grave")
+    sim.run()
+    assert nodes["b"].received == []
+    assert net.stats.messages_dropped_crash == 1
+    assert net.stats.messages_delivered == 0
+
+
+def test_crashed_source_drop_counted_before_partition():
+    # A crashed sender behind a partition is accounted as a crash drop
+    # (fail-stop is checked first — the message never reaches a link).
+    sim, net, nodes = make_net()
+    net.partition(["a"], ["b", "c"])
+    nodes["a"].crashed = True
+    net.send("a", "b", "m")
+    sim.run()
+    assert net.stats.messages_dropped_crash == 1
+    assert net.stats.messages_dropped_partition == 0
+
+
+def test_broadcast_tolerates_registration_during_iteration():
+    # Regression: broadcast iterated the live node dict; a node
+    # registered from within send() (e.g. by a latency-model callback)
+    # raised "dictionary changed size during iteration".
+    sim = Simulator(seed=0)
+
+    class RegisteringLatency:
+        """Registers a new node the first time it samples a delay."""
+
+        def __init__(self):
+            self.fired = False
+
+        def sample(self, rng, src, dst):
+            if not self.fired:
+                self.fired = True
+                Sink(sim, net, "late-joiner")
+            return 1.0
+
+    net = Network(sim, latency=RegisteringLatency())
+    nodes = {name: Sink(sim, net, name) for name in ("a", "b", "c")}
+    net.broadcast("a", "hello")  # must not raise
+    sim.run()
+    assert len(nodes["b"].received) == 1
+    assert len(nodes["c"].received) == 1
+    # The node that joined mid-broadcast is not retroactively included.
+    assert net.node("late-joiner").received == []
+
+
 def test_broadcast_excludes_self_by_default():
     sim, net, nodes = make_net()
     net.broadcast("a", "all")
