@@ -6,6 +6,10 @@
   kept, measured over a contended workload.
 * A3: strict vs sloppy quorums at increasing partition severity
   (E5 covers one point; this sweeps the split).
+
+All three build their stores through the registry; A2/A3 run through
+the workload driver, A1 keeps its bespoke crash/recover script but
+speaks to the store session surface.
 """
 
 import pytest
@@ -13,9 +17,9 @@ import pytest
 from common import emit
 from repro import Network, Simulator, spawn
 from repro.analysis import render_table
-from repro.errors import ReproError
-from repro.replication import DynamoCluster, SiblingDynamoCluster
+from repro.api import registry
 from repro.sim import FixedLatency
+from repro.workload import OpSpec, WorkloadDriver
 
 
 # ----------------------------------------------------------------------
@@ -25,25 +29,26 @@ from repro.sim import FixedLatency
 def run_read_repair(enabled, seed=3):
     sim = Simulator(seed=seed)
     net = Network(sim, latency=FixedLatency(3.0))
-    cluster = DynamoCluster(sim, net, nodes=5, n=3, r=3, w=1,
-                            read_repair=enabled, hint_interval=None)
-    client = cluster.connect()
-    homes = cluster.ring.preference_list("k", 3)
-    victim = cluster.node(homes[1])
+    store = registry.build("quorum", sim, net, nodes=5, n=3, r=3, w=1,
+                           read_repair=enabled, hint_interval=None)
+    session = store.session()
+    homes = store.cluster.ring.preference_list("k", 3)
+    victim_id = homes[1]
+    victim = store.cluster.node(victim_id)
     healed = {}
 
     def script():
-        victim.crash()
-        yield client.put("k", "v")     # lands on 2 of 3 homes
-        victim.recover()
+        store.crash(victim_id)
+        yield session.put("k", "v")    # lands on 2 of 3 homes
+        store.recover(victim_id)
         yield 30.0
-        yield client.get("k")          # R=3 read sees the stale home
+        yield session.get("k")         # R=3 read sees the stale home
         yield 60.0
         healed["victim"] = victim.local_read("k")[0]
 
     spawn(sim, script())
     sim.run()
-    return healed["victim"] == "v", cluster.read_repairs
+    return healed["victim"] == "v", store.cluster.read_repairs
 
 
 # ----------------------------------------------------------------------
@@ -55,23 +60,16 @@ def run_conflict_mode(mode, writers=4, seed=5):
     distinct written values survive to the converged state?"""
     sim = Simulator(seed=seed)
     net = Network(sim, latency=FixedLatency(4.0))
-    if mode == "lww":
-        cluster = DynamoCluster(sim, net, nodes=5, n=3, r=2, w=2)
-    else:
-        cluster = SiblingDynamoCluster(sim, net, nodes=5, n=3, r=2, w=2)
-    clients = [cluster.connect(session=f"s{i}") for i in range(writers)]
+    protocol = "quorum" if mode == "lww" else "quorum_siblings"
+    store = registry.build(protocol, sim, net, nodes=5, n=3, r=2, w=2)
 
-    def script(client, index):
-        try:
-            yield client.put("hot", f"value-{index}")
-        except ReproError:  # pragma: no cover - no failures injected
-            pass
-
-    for index, client in enumerate(clients):
-        spawn(sim, script(client, index))
-    sim.run()
-    cluster.anti_entropy_sweep()
-    snapshot = cluster.snapshots()[0]
+    driver = WorkloadDriver(sim)
+    for index in range(writers):
+        driver.add_session(store.session(f"s{index}"),
+                           [OpSpec("update", "hot", f"value-{index}")])
+    driver.run()
+    store.settle()
+    snapshot = store.snapshots()[0]
     stored = snapshot.get("hot")
     if mode == "lww":
         return 1 if stored is not None else 0
@@ -87,27 +85,23 @@ def run_partition_severity(sloppy, cut_size, seed=7, attempts=6):
     write successes from the client's (majority) side."""
     sim = Simulator(seed=seed)
     net = Network(sim, latency=FixedLatency(2.0))
-    cluster = DynamoCluster(sim, net, nodes=6, n=3, r=2, w=2,
-                            sloppy=sloppy, replica_timeout=20.0,
-                            op_deadline=150.0, client_timeout=300.0)
-    nodes = cluster.ring.nodes
+    store = registry.build("quorum", sim, net, nodes=6, n=3, r=2, w=2,
+                           sloppy=sloppy, replica_timeout=20.0,
+                           op_deadline=150.0, client_timeout=300.0)
+    nodes = store.cluster.ring.nodes
     far_side = nodes[:cut_size]
-    client = cluster.connect(coordinator=nodes[-1])
+    session = store.session(coordinator=nodes[-1])
     net.partition(far_side)  # everyone else (incl. client) together
-    successes = [0]
 
-    def script():
-        for i in range(attempts):
-            try:
-                yield client.put(f"key-{i}", i)
-                successes[0] += 1
-            except ReproError:
-                pass
-            yield 10.0
-
-    spawn(sim, script())
-    sim.run()
-    return successes[0]
+    driver = WorkloadDriver(sim)
+    stats = driver.add_session(
+        session,
+        [spec for i in range(attempts)
+         for spec in (OpSpec("update", f"key-{i}", i),
+                      OpSpec("sleep", "", 10.0))],
+    )
+    driver.run()
+    return stats.ok
 
 
 def test_ablations(benchmark, capsys):

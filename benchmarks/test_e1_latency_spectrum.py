@@ -4,140 +4,143 @@ Claim: client-observed latency rises monotonically along
 eventual → session → bounded/quorum → strong, in a geo deployment.
 Workload: YCSB-style read/write rounds, client in the EU, replicas on
 three continents.
+
+Every rung is built through :mod:`repro.api.registry` and driven by
+the protocol-agnostic :class:`repro.workload.WorkloadDriver` — the
+same store construction + driver call per protocol, with only the
+registry name and session options varying.
 """
 
 import pytest
 
-from common import SITES, emit, geo_network, measure_history
-from repro import Simulator, spawn
+from common import SITES, emit, geo_network
+from repro import Simulator
 from repro.analysis import render_table
+from repro.api import registry
 from repro.checkers import (
     check_causal,
     check_linearizability,
     stale_read_fraction,
 )
-from repro.client import timeline_session
-from repro.replication import (
-    CausalCluster,
-    ChainCluster,
-    DynamoCluster,
-    MultiPaxosCluster,
-    TimelineCluster,
-)
+from repro.workload import OpSpec, WorkloadDriver
 
 ROUNDS = 12
 
 
-def drive(sim, write_fn, read_fn, rounds=ROUNDS, read_heavy=False):
-    def script():
-        for i in range(rounds):
-            yield write_fn(f"key-{i % 3}", f"v{i}")
-            yield 5.0
-            reads = 3 if read_heavy else 1
-            for _ in range(reads):
-                yield read_fn(f"key-{i % 3}")
-                yield 5.0
+def rw_rounds(rounds=ROUNDS, read_heavy=False, think=5.0):
+    """The E1 op stream: write, pause, read(s), pause — per round."""
+    ops = []
+    for i in range(rounds):
+        key = f"key-{i % 3}"
+        ops.append(OpSpec("update", key, f"v{i}"))
+        ops.append(OpSpec("sleep", "", think))
+        for _ in range(3 if read_heavy else 1):
+            ops.append(OpSpec("read", key))
+            ops.append(OpSpec("sleep", "", think))
+    return ops
 
-    spawn(sim, script())
-    sim.run()
+
+#: Rung -> (registry name, build kwargs, client placement, session opts).
+RUNGS = {
+    "eventual R=W=1": (
+        "quorum",
+        dict(n=3, r=1, w=1, op_deadline=2_000.0, client_timeout=4_000.0),
+        {"dclient-1": "eu"},
+        dict(client_id="dclient-1", coordinator="dyn1"),
+        "dyn",
+    ),
+    "quorum R=W=2": (
+        "quorum",
+        dict(n=3, r=2, w=2, op_deadline=2_000.0, client_timeout=4_000.0),
+        {"dclient-1": "eu"},
+        dict(client_id="dclient-1", coordinator="dyn1"),
+        "dyn",
+    ),
+    "timeline read-local": (
+        "timeline",
+        dict(propagation_delay=20.0),
+        {"tlclient-1": "eu", "tl0-fwd": "us-east"},
+        dict(client_id="tlclient-1", home="tl1"),
+        "tl",
+    ),
+    "session RYW+MR": (
+        "timeline",
+        dict(propagation_delay=20.0),
+        {"tlclient-1": "eu", "tl0-fwd": "us-east"},
+        dict(client_id="tlclient-1", home="tl1",
+             guarantees=("ryw", "mr"), retry_delay=10.0),
+        "tl",
+    ),
+    "paxos": (
+        "multipaxos", {}, {"pxclient-1": "eu"},
+        dict(client_id="pxclient-1"), "px",
+    ),
+    "chain": (
+        "chain", {}, {"chclient-1": "eu"},
+        dict(client_id="chclient-1"), "ch",
+    ),
+}
 
 
 def run_protocol(name, seed=1, read_heavy=False):
     sim = Simulator(seed=seed)
-    if name.startswith("eventual") or name.startswith("quorum"):
-        r, w = (1, 1) if name.startswith("eventual") else (2, 2)
-        ids = [f"dyn{i}" for i in range(3)]
-        net = geo_network(sim, ids, {"dclient-1": "eu"})
-        cluster = DynamoCluster(sim, net, nodes=3, n=3, r=r, w=w,
-                                node_ids=ids, op_deadline=2_000.0,
-                                client_timeout=4_000.0)
-        client = cluster.connect(coordinator="dyn1")
-        drive(sim, client.put, client.get, read_heavy=read_heavy)
-        history = cluster.history()
-    elif name.startswith("timeline") or name.startswith("session"):
-        ids = [f"tl{i}" for i in range(3)]
-        net = geo_network(
-            sim, ids, {"tlclient-1": "eu", "tl0-fwd": "us-east"},
-        )
-        cluster = TimelineCluster(sim, net, nodes=3, propagation_delay=20.0,
-                                  node_ids=ids)
+    if name.startswith("causal"):
+        return _run_causal(sim, read_heavy)
+    spec_name, build_kwargs, client_sites, session_opts, prefix = RUNGS[name]
+    ids = [f"{prefix}{i}" for i in range(3)]
+    net = geo_network(sim, ids, client_sites)
+    store = registry.build(spec_name, sim, net, nodes=3, node_ids=ids,
+                           **build_kwargs)
+    if spec_name == "timeline":
         for i in range(3):
-            cluster.set_master(f"key-{i}", "tl0")
-        raw = cluster.connect(home="tl1")
-        if name.startswith("session"):
-            session = timeline_session(raw, guarantees=("ryw", "mr"),
-                                       retry_delay=10.0)
-            drive(sim, session.write, session.read, read_heavy=read_heavy)
-            history = session.history()
-        else:
-            drive(sim, raw.write, raw.read_any, read_heavy=read_heavy)
-            history = cluster.recorder.history()
-    elif name.startswith("causal"):
-        # COPS-style: writer in the EU writes locally; a reader in
-        # Asia reads locally.  Reads are ~free and may be stale, but
-        # the causal checker vouches for the history — the rung's
-        # defining property.
-        ids = [f"cc{i}" for i in range(3)]
-        net = geo_network(
-            sim, ids, {"ccclient-1": "eu", "ccclient-2": "asia"},
-        )
-        cluster = CausalCluster(sim, net, nodes=3, node_ids=ids)
-        writer = cluster.connect(home="cc1", session="writer")
-        reader = cluster.connect(home="cc2", session="reader")
-
-        def writer_loop():
-            for i in range(rounds_for(read_heavy)):
-                yield writer.put(f"key-{i % 3}", f"v{i}")
-                yield 10.0
-
-        def reader_loop():
-            yield 5.0
-            for i in range(rounds_for(read_heavy)):
-                yield reader.get(f"key-{i % 3}")
-                yield 10.0
-
-        spawn(sim, writer_loop())
-        spawn(sim, reader_loop())
-        sim.run()
-        sim.run(until=sim.now + 500.0)
-        history = cluster.history()
-        reads, writes = measure_history(history)
-        return {
-            "protocol": name,
-            "read_ms": reads.mean,
-            "write_ms": writes.mean,
-            "stale": stale_read_fraction(history),
-            "linearizable": check_linearizability(history).ok,
-            "causal_ok": check_causal(history).ok,
-        }
-    elif name.startswith("paxos"):
-        ids = [f"px{i}" for i in range(3)]
-        net = geo_network(sim, ids, {"pxclient-1": "eu"})
-        cluster = MultiPaxosCluster(sim, net, nodes=3, node_ids=ids)
-        cluster.elect()
-        sim.run()
-        client = cluster.connect()
-        drive(sim, client.put, client.get, read_heavy=read_heavy)
-        history = cluster.recorder.history()
-    else:  # chain
-        ids = [f"ch{i}" for i in range(3)]
-        net = geo_network(sim, ids, {"chclient-1": "eu"})
-        cluster = ChainCluster(sim, net, nodes=3, node_ids=ids)
-        client = cluster.connect()
-        drive(sim, client.put, client.get, read_heavy=read_heavy)
-        history = cluster.recorder.history()
-    reads, writes = measure_history(history)
+            store.cluster.set_master(f"key-{i}", f"{prefix}0")
+    driver = WorkloadDriver(sim)
+    driver.add_session(store.session("session-1", **session_opts),
+                       rw_rounds(read_heavy=read_heavy))
+    result = driver.run()
+    history = result.history
     return {
         "protocol": name,
-        "read_ms": reads.mean,
-        "write_ms": writes.mean,
+        "read_ms": result.read_latency.mean,
+        "write_ms": result.write_latency.mean,
         "stale": stale_read_fraction(history),
         "linearizable": check_linearizability(history).ok,
     }
 
 
-def rounds_for(read_heavy: bool) -> int:
-    return ROUNDS
+def _run_causal(sim, read_heavy):
+    """COPS-style: writer in the EU writes locally; a reader in Asia
+    reads locally.  Reads are ~free and may be stale, but the causal
+    checker vouches for the history — the rung's defining property.
+    Two driver lanes share one recorder, so both sessions densify into
+    a single checkable history."""
+    ids = [f"cc{i}" for i in range(3)]
+    net = geo_network(sim, ids, {"ccclient-1": "eu", "ccclient-2": "asia"})
+    store = registry.build("causal", sim, net, nodes=3, node_ids=ids)
+
+    writes = []
+    reads = [OpSpec("sleep", "", 5.0)]
+    for i in range(ROUNDS):
+        key = f"key-{i % 3}"
+        writes += [OpSpec("update", key, f"v{i}"), OpSpec("sleep", "", 10.0)]
+        reads += [OpSpec("read", key), OpSpec("sleep", "", 10.0)]
+
+    driver = WorkloadDriver(sim)
+    driver.add_session(
+        store.session("writer", home="cc1", client_id="ccclient-1"), writes)
+    driver.add_session(
+        store.session("reader", home="cc2", client_id="ccclient-2"), reads)
+    result = driver.run()
+    sim.run(until=sim.now + 500.0)   # let replication settle
+    history = result.history
+    return {
+        "protocol": "causal (COPS, far reader)",
+        "read_ms": result.read_latency.mean,
+        "write_ms": result.write_latency.mean,
+        "stale": stale_read_fraction(history),
+        "linearizable": check_linearizability(history).ok,
+        "causal_ok": check_causal(history).ok,
+    }
 
 
 PROTOCOLS = [

@@ -3,20 +3,36 @@
 Claim: under a lagging eventually consistent store, sessions that read
 any replica see RYW and MR violations; enabling each guarantee drives
 its violation rate to zero at a measurable latency cost (retry/wait).
+
+Sessions are created through the store API (``store.session(...,
+guarantees=...)``) and driven by the shared workload driver; all lanes
+record into one driver history, which the session checkers consume.
 """
 
 import pytest
 
 from common import emit
-from repro import Network, Simulator, spawn
+from repro import Network, Simulator
 from repro.analysis import render_table
+from repro.api import registry
 from repro.checkers import ALL_SESSION_GUARANTEES
-from repro.client import timeline_session
-from repro.replication import TimelineCluster
 from repro.sim import ExponentialLatency
+from repro.workload import OpSpec, WorkloadDriver
 
 OPS_PER_SESSION = 12
 SESSIONS = 4
+
+
+def session_ops(key):
+    """Write own key, read it back, read the shared key — per round."""
+    ops = []
+    for i in range(OPS_PER_SESSION):
+        ops += [
+            OpSpec("update", key, f"{key}-v{i}"), OpSpec("sleep", "", 4.0),
+            OpSpec("read", key), OpSpec("sleep", "", 4.0),
+            OpSpec("read", "shared"), OpSpec("sleep", "", 4.0),
+        ]
+    return ops
 
 
 def run_sessions(guarantees, seed=2, propagation_delay=80.0):
@@ -24,57 +40,25 @@ def run_sessions(guarantees, seed=2, propagation_delay=80.0):
     shared key, via non-master home replicas."""
     sim = Simulator(seed=seed)
     net = Network(sim, latency=ExponentialLatency(base=1.0, mean=3.0))
-    cluster = TimelineCluster(sim, net, nodes=4,
-                              propagation_delay=propagation_delay)
-    sessions = []
+    store = registry.build("timeline", sim, net, nodes=4,
+                           propagation_delay=propagation_delay)
+    cluster = store.cluster
+    driver = WorkloadDriver(sim)
     for index in range(SESSIONS):
         key = f"key-{index}"
         master = cluster.master_of(key)
         home = next(n for n in cluster.node_ids if n != master)
-        raw = cluster.connect(session=f"s{index}", home=home)
-        session = timeline_session(raw, guarantees=guarantees,
-                                   retry_delay=8.0)
-        sessions.append((session, key))
+        session = store.session(f"s{index}", home=home,
+                                guarantees=guarantees, retry_delay=8.0)
+        driver.add_session(session, session_ops(key))
+    result = driver.run()
 
-    def script(session, key):
-        for i in range(OPS_PER_SESSION):
-            yield session.write(key, f"{key}-v{i}")
-            yield 4.0
-            try:
-                yield session.read(key)
-            except Exception:  # noqa: BLE001 - retries exhausted: skip
-                pass
-            yield 4.0
-            try:
-                yield session.read("shared")
-            except Exception:  # noqa: BLE001
-                pass
-            yield 4.0
-
-    for session, key in sessions:
-        spawn(sim, script(session, key))
-    sim.run()
-
-    # Combine all session-level histories (client-observed).
-    ops = []
-    total_reads = 0
-    total_read_latency = 0.0
-    for session, _key in sessions:
-        history = session.history()
-        ops.extend(history)
-        for op in history.completed:
-            if op.is_read:
-                total_reads += 1
-                total_read_latency += op.end - op.start
-    from repro.histories import History
-
-    combined = History(ops)
+    combined = result.history
     verdicts = {
         name: check(combined)
         for name, check in ALL_SESSION_GUARANTEES.items()
     }
-    mean_read_latency = total_read_latency / max(total_reads, 1)
-    return verdicts, mean_read_latency
+    return verdicts, result.read_latency.mean
 
 
 def test_e3_session_guarantees(benchmark, capsys):

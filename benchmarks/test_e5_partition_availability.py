@@ -4,18 +4,30 @@ Claim: during a partition, (a) a sloppy-quorum store keeps accepting
 writes on *both* sides (hinted handoff) and reconciles afterwards;
 (b) a strict-quorum store rejects operations on the minority side;
 (c) a Paxos group rejects everything that can't reach a majority.
+
+Both stores are built through the registry and driven by the workload
+driver; per-side success counts come from the driver's per-lane stats.
 """
 
 import pytest
 
 from common import emit
-from repro import Network, Simulator, spawn
+from repro import Network, Simulator
 from repro.analysis import render_table
-from repro.errors import ReproError
-from repro.replication import DynamoCluster, MultiPaxosCluster
+from repro.api import registry
 from repro.sim import FixedLatency
+from repro.workload import OpSpec, WorkloadDriver
 
 OPS_PER_SIDE = 8
+
+
+def side_ops(side, pause=20.0):
+    return [
+        spec
+        for i in range(OPS_PER_SIDE)
+        for spec in (OpSpec("update", f"{side}-key-{i}", i),
+                     OpSpec("sleep", "", pause))
+    ]
 
 
 def run_dynamo_partition(sloppy, seed=2):
@@ -24,36 +36,27 @@ def run_dynamo_partition(sloppy, seed=2):
     successes, converged-after-heal)."""
     sim = Simulator(seed=seed)
     net = Network(sim, latency=FixedLatency(2.0))
-    cluster = DynamoCluster(sim, net, nodes=5, n=3, r=2, w=2,
-                            sloppy=sloppy, replica_timeout=20.0,
-                            op_deadline=150.0, client_timeout=300.0,
-                            hint_interval=30.0)
-    nodes = cluster.ring.nodes
+    store = registry.build("quorum", sim, net, nodes=5, n=3, r=2, w=2,
+                           sloppy=sloppy, replica_timeout=20.0,
+                           op_deadline=150.0, client_timeout=300.0,
+                           hint_interval=30.0)
+    nodes = store.cluster.ring.nodes
     majority, minority = nodes[:3], nodes[3:]
-    client_major = cluster.connect(session="major", coordinator=majority[0])
-    client_minor = cluster.connect(session="minor", coordinator=minority[0])
-    net.partition([client_major.node_id] + majority,
-                  [client_minor.node_id] + minority)
-    outcomes = {"major": 0, "minor": 0}
+    major = store.session("major", coordinator=majority[0])
+    minor = store.session("minor", coordinator=minority[0])
+    net.partition([major.client_id] + majority,
+                  [minor.client_id] + minority)
 
-    def script(client, side):
-        for i in range(OPS_PER_SIDE):
-            try:
-                yield client.put(f"{side}-key-{i}", i)
-                outcomes[side] += 1
-            except ReproError:
-                pass
-            yield 20.0
-
-    spawn(sim, script(client_major, "major"))
-    spawn(sim, script(client_minor, "minor"))
-    sim.run()
+    driver = WorkloadDriver(sim)
+    major_stats = driver.add_session(major, side_ops("major"))
+    minor_stats = driver.add_session(minor, side_ops("minor"))
+    driver.run()
     net.heal()
     sim.run(until=sim.now + 1_000.0)
-    cluster.anti_entropy_sweep()
-    snapshots = cluster.snapshots()
+    store.settle()
+    snapshots = store.snapshots()
     converged = all(s == snapshots[0] for s in snapshots[1:])
-    return outcomes["major"], outcomes["minor"], converged
+    return major_stats.ok, minor_stats.ok, converged
 
 
 def run_paxos_partition(minority_side, seed=2):
@@ -61,31 +64,26 @@ def run_paxos_partition(minority_side, seed=2):
     majority (2 nodes) or the minority (1 node)."""
     sim = Simulator(seed=seed)
     net = Network(sim, latency=FixedLatency(2.0))
-    cluster = MultiPaxosCluster(sim, net, nodes=3)
-    cluster.elect()
-    sim.run()
-    client = cluster.connect()
+    store = registry.build("multipaxos", sim, net, nodes=3)
+    cluster = store.cluster
+    session = store.session("px")
     leader = cluster.leader.node_id
     others = [n for n in cluster.node_ids if n != leader]
     if minority_side:
-        net.partition([client.node_id, leader])          # leader alone
+        net.partition([session.client_id, leader])          # leader alone
     else:
-        net.partition([client.node_id, leader, others[0]])  # leader + 1
-    successes = 0
+        net.partition([session.client_id, leader, others[0]])  # leader + 1
 
-    def script():
-        nonlocal successes
-        for i in range(OPS_PER_SIDE):
-            try:
-                yield client.put(f"key-{i}", i, timeout=200.0)
-                successes += 1
-            except ReproError:
-                pass
-            yield 10.0
-
-    spawn(sim, script())
-    sim.run()
-    return successes
+    driver = WorkloadDriver(sim)
+    stats = driver.add_session(
+        session,
+        [spec for i in range(OPS_PER_SIDE)
+         for spec in (OpSpec("update", f"key-{i}", i),
+                      OpSpec("sleep", "", 10.0))],
+        timeout=200.0,
+    )
+    driver.run()
+    return stats.ok
 
 
 def test_e5_partition_availability(benchmark, capsys):

@@ -4,28 +4,24 @@ Claim (Pileus): as the client's position relative to master and
 replicas varies, SLA-driven per-read replica selection delivers at
 least as much utility as the best *fixed* strategy at each position —
 and strictly more utility than the worst — because it adapts per read.
+
+The ``pileus`` registry adapter supplies both policies: the default
+session selects per-read, ``session(target=...)`` pins the fixed
+baseline.  The workload driver runs the same op stream against each.
 """
 
 import pytest
 
-from repro import Network, Simulator, spawn
 from common import emit
+from repro import Network, Simulator
 from repro.analysis import render_table
-from repro.replication import TimelineCluster
+from repro.api import registry
 from repro.sim import THREE_CONTINENTS
-from repro.sla import SHOPPING_CART, SLAClient
+from repro.sla import SHOPPING_CART
+from repro.workload import OpSpec, WorkloadDriver
 
 SITES = ("us-east", "eu", "asia")
 NODE_OF_SITE = {"us-east": "tl0", "eu": "tl1", "asia": "tl2"}
-
-
-class FixedTargetClient(SLAClient):
-    def __init__(self, client, target):
-        super().__init__(client)
-        self._target = target
-
-    def select_target(self, key, sla):
-        return self._target, 0
 
 
 def run_position(client_site, strategy, seed=3, reads=15):
@@ -37,38 +33,38 @@ def run_position(client_site, strategy, seed=3, reads=15):
     net = Network(
         sim, latency=THREE_CONTINENTS.latency_model(placement, jitter=0.05)
     )
-    cluster = TimelineCluster(sim, net, nodes=3, propagation_delay=25.0)
-    cluster.set_master("data", "tl0")
-    raw = cluster.connect(home=NODE_OF_SITE[client_site])
+    store = registry.build("pileus", sim, net, nodes=3,
+                           propagation_delay=25.0)
+    store.cluster.set_master("data", "tl0")
     if strategy == "sla":
-        client = SLAClient(raw)
+        target = None
     elif strategy == "master":
-        client = FixedTargetClient(raw, "tl0")
+        target = "tl0"
     else:
-        client = FixedTargetClient(raw, NODE_OF_SITE[client_site])
+        target = NODE_OF_SITE[client_site]
+    session = store.session(home=NODE_OF_SITE[client_site],
+                            sla=SHOPPING_CART, target=target)
     # Warm the monitor with true RTTs (Pileus keeps a monitor service).
+    sla_client = session.sla_client
     for site, node in NODE_OF_SITE.items():
         rtt = 2 * THREE_CONTINENTS.delay(client_site, site)
-        client.monitor.observe_latency(node, max(rtt, 1.0))
-        client.monitor.observe_lag(node, 25.0 if node != "tl0" else 0.0)
-    done = {}
+        sla_client.monitor.observe_latency(node, max(rtt, 1.0))
+        sla_client.monitor.observe_lag(node, 25.0 if node != "tl0" else 0.0)
 
-    def script():
-        yield client.write("data", "v0")
-        yield 150.0
-        for i in range(reads):
-            yield client.write("data", f"v{i + 1}")
-            yield 20.0
-            yield client.read("data", SHOPPING_CART)
-            yield 10.0
-        done["utility"] = client.average_utility()
-        done["latency"] = (
-            sum(o.latency for o in client.outcomes) / len(client.outcomes)
-        )
+    ops = [OpSpec("update", "data", "v0"), OpSpec("sleep", "", 150.0)]
+    for i in range(reads):
+        ops += [OpSpec("update", "data", f"v{i + 1}"),
+                OpSpec("sleep", "", 20.0),
+                OpSpec("read", "data"), OpSpec("sleep", "", 10.0)]
 
-    spawn(sim, script())
-    sim.run()
-    return done
+    driver = WorkloadDriver(sim)
+    driver.add_session(session, ops)
+    driver.run()
+    outcomes = sla_client.outcomes
+    return {
+        "utility": sla_client.average_utility(),
+        "latency": sum(o.latency for o in outcomes) / len(outcomes),
+    }
 
 
 def test_e7_sla_utility(benchmark, capsys):

@@ -43,6 +43,7 @@ Quickstart::
 
 from . import (
     analysis,
+    api,
     checkers,
     clocks,
     client,
@@ -50,6 +51,7 @@ from . import (
     errors,
     histories,
     replication,
+    sharding,
     sim,
     sla,
     storage,
@@ -77,6 +79,8 @@ __all__ = [
     "txn",
     "workload",
     "analysis",
+    "api",
+    "sharding",
     "errors",
     "__version__",
 ]

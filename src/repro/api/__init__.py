@@ -1,0 +1,39 @@
+"""Protocol-agnostic store API: one client surface for every mechanism.
+
+>>> from repro.api import registry
+>>> for name in registry.names():
+...     print(name)
+bayou
+causal
+chain
+multipaxos
+pileus
+primary_backup
+quorum
+quorum_siblings
+timeline
+"""
+
+from . import registry
+from .store import (
+    ConsistentStore,
+    FnSession,
+    StoreCapabilities,
+    StoreSession,
+    mapped_future,
+    resolved,
+)
+
+# Importing the adapters module registers every protocol.
+from . import adapters  # noqa: E402,F401
+
+__all__ = [
+    "ConsistentStore",
+    "StoreSession",
+    "FnSession",
+    "StoreCapabilities",
+    "registry",
+    "mapped_future",
+    "resolved",
+    "adapters",
+]

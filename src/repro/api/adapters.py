@@ -1,0 +1,674 @@
+"""One :class:`~repro.api.store.ConsistentStore` adapter per mechanism.
+
+Each adapter normalizes a protocol's native client surface
+(``DynamoClient.put/get``, ``TimelineClient.write/read_any/…``,
+``BayouReplica.write/read_tentative``, …) to the uniform session
+contract: ``put -> Future[token]``, ``get -> Future[(value, token)]``,
+where a *token* is the protocol's version metadata, totally ordered
+within a key (the driver densifies tokens into checkable versions).
+
+Registered names
+----------------
+``primary_backup``, ``quorum``, ``quorum_siblings``, ``causal``,
+``timeline``, ``bayou``, ``chain``, ``multipaxos``, ``pileus``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from ..client import timeline_session
+from ..replication import (
+    BayouCluster,
+    CausalCluster,
+    ChainCluster,
+    DynamoCluster,
+    MultiPaxosCluster,
+    PrimaryBackupCluster,
+    SiblingDynamoCluster,
+    TimelineCluster,
+)
+from ..sim import Network, Simulator
+from ..sla import SHOPPING_CART, SLA, SLAClient
+from . import registry
+from .store import (
+    ConsistentStore,
+    FnSession,
+    StoreCapabilities,
+    StoreSession,
+    mapped_future,
+    resolved,
+)
+
+
+def _apply_service_time(nodes, service_time: float) -> None:
+    if service_time > 0:
+        for node in nodes:
+            node.service_time = service_time
+
+
+def _norm_versioned(pair):
+    """(value, int-version) -> (value, token) with 0 meaning 'nothing'."""
+    value, version = pair
+    return value, (version or None)
+
+
+# ---------------------------------------------------------------------------
+# Dynamo-style quorums (LWW)
+# ---------------------------------------------------------------------------
+
+
+@registry.register(StoreCapabilities(
+    name="quorum",
+    description="Dynamo partial quorums, LWW, read repair, sloppy option",
+    read_modes=("quorum",),
+))
+class QuorumStore(ConsistentStore):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: int = 3,
+        node_ids: list[Hashable] | None = None,
+        service_time: float = 0.0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(sim, network)
+        self.cluster = DynamoCluster(
+            sim, network, nodes=nodes, node_ids=node_ids, **kwargs
+        )
+        _apply_service_time(self.cluster.nodes, service_time)
+
+    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+        client = self.cluster.connect(session=name, **opts)
+        return FnSession(
+            client.session,
+            put_fn=lambda k, v, t: client.put(k, v, timeout=t),
+            read_fns={"quorum": lambda k, t: client.get(k, timeout=t)},
+            default_mode="quorum",
+            client_id=client.node_id,
+            client=client,
+        )
+
+    def server_ids(self) -> list[Hashable]:
+        return self.cluster.ring.nodes
+
+    def history(self):
+        return self.cluster.history()
+
+    def snapshots(self) -> list[dict]:
+        return self.cluster.snapshots()
+
+    def settle(self) -> None:
+        self.cluster.anti_entropy_sweep()
+
+
+# ---------------------------------------------------------------------------
+# Dynamo-style quorums with siblings (DVV)
+# ---------------------------------------------------------------------------
+
+
+def _context_token(context: dict):
+    """A total order over DVV contexts compatible with causality:
+    (vector sum, canonicalized entries) — concurrent contexts tie-break
+    deterministically."""
+    if not context:
+        return None
+    return (
+        sum(context.values()),
+        tuple(sorted((str(node), counter) for node, counter in context.items())),
+    )
+
+
+@registry.register(StoreCapabilities(
+    name="quorum_siblings",
+    description="partial quorums keeping concurrent siblings (DVV contexts)",
+    read_modes=("quorum",),
+    multi_value_reads=True,
+    has_history=False,
+))
+class SiblingQuorumStore(ConsistentStore):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: int = 3,
+        node_ids: list[Hashable] | None = None,
+        service_time: float = 0.0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(sim, network)
+        self.cluster = SiblingDynamoCluster(
+            sim, network, nodes=nodes, node_ids=node_ids, **kwargs
+        )
+        _apply_service_time(self.cluster.nodes, service_time)
+
+    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+        client = self.cluster.connect(session=name, **opts)
+        return FnSession(
+            client.session,
+            put_fn=lambda k, v, t: mapped_future(
+                self.sim, client.put(k, v, timeout=t), _context_token
+            ),
+            read_fns={
+                "quorum": lambda k, t: mapped_future(
+                    self.sim,
+                    client.get(k, timeout=t),
+                    lambda reply: (tuple(reply[0]), _context_token(reply[1])),
+                ),
+            },
+            default_mode="quorum",
+            client_id=client.node_id,
+            client=client,
+        )
+
+    def server_ids(self) -> list[Hashable]:
+        return self.cluster.ring.nodes
+
+    def snapshots(self) -> list[dict]:
+        return self.cluster.snapshots()
+
+    def settle(self) -> None:
+        self.cluster.anti_entropy_sweep()
+
+
+# ---------------------------------------------------------------------------
+# COPS-style causal store
+# ---------------------------------------------------------------------------
+
+
+@registry.register(StoreCapabilities(
+    name="causal",
+    description="COPS-style causal broadcast KV; local reads/writes",
+    read_modes=("local",),
+    session_guarantees=("ryw", "mr", "mw", "wfr"),
+))
+class CausalStore(ConsistentStore):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: int = 3,
+        node_ids: list[Hashable] | None = None,
+        service_time: float = 0.0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(sim, network)
+        self.cluster = CausalCluster(
+            sim, network, nodes=nodes, node_ids=node_ids, **kwargs
+        )
+        _apply_service_time(self.cluster.replicas, service_time)
+        self._next_home = 0
+
+    def session(
+        self,
+        name: Hashable | None = None,
+        home: Hashable | None = None,
+        **opts: Any,
+    ) -> StoreSession:
+        if home is None:
+            ids = self.cluster.node_ids
+            home = ids[self._next_home % len(ids)]
+            self._next_home += 1
+        client = self.cluster.connect(home=home, session=name, **opts)
+        return FnSession(
+            client.session,
+            put_fn=lambda k, v, t: mapped_future(
+                self.sim, client.put(k, v, timeout=t),
+                lambda rank: tuple(rank),
+            ),
+            read_fns={
+                "local": lambda k, t: mapped_future(
+                    self.sim, client.get(k, timeout=t),
+                    lambda reply: (
+                        reply[0],
+                        tuple(reply[1]) if reply[1] is not None else None,
+                    ),
+                ),
+            },
+            default_mode="local",
+            client_id=client.node_id,
+            client=client,
+        )
+
+    def server_ids(self) -> list[Hashable]:
+        return list(self.cluster.node_ids)
+
+    def history(self):
+        return self.cluster.history()
+
+    def snapshots(self) -> list[dict]:
+        return self.cluster.snapshots()
+
+
+# ---------------------------------------------------------------------------
+# PNUTS-style record timelines
+# ---------------------------------------------------------------------------
+
+
+@registry.register(StoreCapabilities(
+    name="timeline",
+    description="PNUTS per-record mastership; any/critical/latest reads",
+    read_modes=("any", "critical", "latest"),
+    session_guarantees=("ryw", "mr", "mw", "wfr"),
+))
+class TimelineStore(ConsistentStore):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: int = 3,
+        node_ids: list[Hashable] | None = None,
+        service_time: float = 0.0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(sim, network)
+        self.cluster = TimelineCluster(
+            sim, network, nodes=nodes, node_ids=node_ids, **kwargs
+        )
+        _apply_service_time(self.cluster.replicas, service_time)
+
+    def session(
+        self,
+        name: Hashable | None = None,
+        guarantees: tuple[str, ...] | None = None,
+        retry_delay: float = 10.0,
+        spread_replicas: bool = False,
+        **opts: Any,
+    ) -> StoreSession:
+        client = self.cluster.connect(session=name, **opts)
+        if guarantees is not None:
+            wrapped = timeline_session(
+                client, guarantees=guarantees, retry_delay=retry_delay,
+                spread_replicas=spread_replicas,
+            )
+            session = FnSession(
+                client.session,
+                put_fn=lambda k, v, t: wrapped.write(k, v),
+                read_fns={
+                    "any": lambda k, t: mapped_future(
+                        self.sim, wrapped.read(k), _norm_versioned
+                    ),
+                    "critical": lambda k, t: mapped_future(
+                        self.sim, client.read_critical(k, timeout=t),
+                        _norm_versioned,
+                    ),
+                    "latest": lambda k, t: mapped_future(
+                        self.sim, client.read_latest(k, timeout=t),
+                        _norm_versioned,
+                    ),
+                },
+                default_mode="any",
+                client_id=client.node_id,
+                client=client,
+            )
+            session.session_client = wrapped
+            return session
+        return FnSession(
+            client.session,
+            put_fn=lambda k, v, t: client.write(k, v, timeout=t),
+            read_fns={
+                "any": lambda k, t: mapped_future(
+                    self.sim, client.read_any(k, timeout=t), _norm_versioned
+                ),
+                "critical": lambda k, t: mapped_future(
+                    self.sim, client.read_critical(k, timeout=t),
+                    _norm_versioned,
+                ),
+                "latest": lambda k, t: mapped_future(
+                    self.sim, client.read_latest(k, timeout=t), _norm_versioned
+                ),
+            },
+            default_mode="any",
+            client_id=client.node_id,
+            client=client,
+        )
+
+    def server_ids(self) -> list[Hashable]:
+        return list(self.cluster.node_ids)
+
+    def history(self):
+        return self.cluster.recorder.history()
+
+    def snapshots(self) -> list[dict]:
+        return self.cluster.snapshots()
+
+
+# ---------------------------------------------------------------------------
+# Bayou tentative/committed replication
+# ---------------------------------------------------------------------------
+
+
+@registry.register(StoreCapabilities(
+    name="bayou",
+    description="Bayou tentative/committed writes, primary commit order",
+    read_modes=("tentative", "committed"),
+    tentative_reads=True,
+    networked=False,
+    has_history=False,
+))
+class BayouStore(ConsistentStore):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: int = 4,
+        node_ids: list[Hashable] | None = None,
+        service_time: float = 0.0,  # noqa: ARG002 - direct-attach, no queue
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(sim, network)
+        self.cluster = BayouCluster(
+            sim, network, nodes=nodes, node_ids=node_ids, **kwargs
+        )
+        self._next_replica = 0
+        self._sessions = 0
+
+    def session(
+        self,
+        name: Hashable | None = None,
+        replica: Hashable | None = None,
+        **opts: Any,
+    ) -> StoreSession:
+        if replica is None:
+            index = self._next_replica % len(self.cluster.replicas)
+            self._next_replica += 1
+            node = self.cluster.replicas[index]
+        else:
+            node = next(
+                r for r in self.cluster.replicas if r.node_id == replica
+            )
+        self._sessions += 1
+        name = name if name is not None else f"bayou-session-{self._sessions}"
+        sim = self.sim
+
+        def put_fn(key, value, _timeout):
+            record = node.write(key, value)
+            return resolved(sim, record.stamp)
+
+        return FnSession(
+            name,
+            put_fn=put_fn,
+            read_fns={
+                "tentative": lambda k, t: resolved(
+                    sim, (node.read_tentative(k), None)
+                ),
+                "committed": lambda k, t: resolved(
+                    sim, (node.read_committed(k), None)
+                ),
+            },
+            default_mode="tentative",
+            client_id=node.node_id,
+            client=node,
+        )
+
+    def server_ids(self) -> list[Hashable]:
+        return list(self.cluster.node_ids)
+
+    def snapshots(self) -> list[dict]:
+        return [replica.snapshot() for replica in self.cluster.replicas]
+
+    def settle(self) -> None:
+        """Instantaneous pairwise anti-entropy, twice: once to flood
+        writes to the primary, once to flood commit orders back."""
+        for _round in range(2):
+            for source in self.cluster.replicas:
+                write_set = source._write_set(reply_expected=False)
+                for target in self.cluster.replicas:
+                    if target is not source:
+                        target.handle_WriteSet(source.node_id, write_set)
+
+
+# ---------------------------------------------------------------------------
+# Primary–backup
+# ---------------------------------------------------------------------------
+
+
+@registry.register(StoreCapabilities(
+    name="primary_backup",
+    description="single primary, async/sync/quorum backup acks",
+    read_modes=("primary", "backup"),
+))
+class PrimaryBackupStore(ConsistentStore):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: int = 3,
+        node_ids: list[Hashable] | None = None,
+        service_time: float = 0.0,
+        mode: str = "async",
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(sim, network)
+        self.cluster = PrimaryBackupCluster(
+            sim, network, n=nodes, mode=mode, node_ids=node_ids, **kwargs
+        )
+        _apply_service_time(self.cluster.replicas, service_time)
+
+    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+        client = self.cluster.connect(session=name, **opts)
+
+        def read_backup(key, timeout):
+            backups = self.cluster.backups
+            target = backups[0] if backups else self.cluster.primary
+            return mapped_future(
+                self.sim, client.get(key, replica=target, timeout=timeout),
+                _norm_versioned,
+            )
+
+        return FnSession(
+            client.session,
+            put_fn=lambda k, v, t: client.put(k, v, timeout=t),
+            read_fns={
+                "primary": lambda k, t: mapped_future(
+                    self.sim, client.get(k, timeout=t), _norm_versioned
+                ),
+                "backup": read_backup,
+            },
+            default_mode="primary",
+            client_id=client.node_id,
+            client=client,
+        )
+
+    def server_ids(self) -> list[Hashable]:
+        return [replica.node_id for replica in self.cluster.replicas]
+
+    def history(self):
+        return self.cluster.recorder.history()
+
+    def snapshots(self) -> list[dict]:
+        return self.cluster.snapshots()
+
+
+# ---------------------------------------------------------------------------
+# Chain replication
+# ---------------------------------------------------------------------------
+
+
+@registry.register(StoreCapabilities(
+    name="chain",
+    description="chain replication: writes at head, linearizable tail reads",
+    read_modes=("tail",),
+    survives_replica_crash=False,
+))
+class ChainStore(ConsistentStore):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: int = 3,
+        node_ids: list[Hashable] | None = None,
+        service_time: float = 0.0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(sim, network)
+        self.cluster = ChainCluster(
+            sim, network, nodes=nodes, node_ids=node_ids, **kwargs
+        )
+        _apply_service_time(self.cluster.replicas, service_time)
+
+    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+        client = self.cluster.connect(session=name, **opts)
+        return FnSession(
+            client.session,
+            put_fn=lambda k, v, t: client.put(k, v, timeout=t),
+            read_fns={
+                "tail": lambda k, t: mapped_future(
+                    self.sim, client.get(k, timeout=t), _norm_versioned
+                ),
+            },
+            default_mode="tail",
+            client_id=client.node_id,
+            client=client,
+        )
+
+    def server_ids(self) -> list[Hashable]:
+        return [replica.node_id for replica in self.cluster.replicas]
+
+    def history(self):
+        return self.cluster.recorder.history()
+
+    def snapshots(self) -> list[dict]:
+        return self.cluster.snapshots()
+
+
+# ---------------------------------------------------------------------------
+# Multi-Paxos
+# ---------------------------------------------------------------------------
+
+
+@registry.register(StoreCapabilities(
+    name="multipaxos",
+    description="consensus-replicated KV log; linearizable log reads",
+    read_modes=("log", "local"),
+))
+class MultiPaxosStore(ConsistentStore):
+    """Builds the group *and runs the leader election to completion*
+    (``sim.run()``) so sessions are immediately usable — build stores
+    before spawning workload processes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: int = 3,
+        node_ids: list[Hashable] | None = None,
+        service_time: float = 0.0,
+        elect: bool = True,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(sim, network)
+        self.cluster = MultiPaxosCluster(
+            sim, network, nodes=nodes, node_ids=node_ids, **kwargs
+        )
+        _apply_service_time(self.cluster.replicas, service_time)
+        if elect:
+            self.cluster.elect()
+            sim.run()
+
+    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+        client = self.cluster.connect(session=name, **opts)
+        return FnSession(
+            client.session,
+            put_fn=lambda k, v, t: client.put(k, v, timeout=t),
+            read_fns={
+                "log": lambda k, t: mapped_future(
+                    self.sim, client.get(k, timeout=t), _norm_versioned
+                ),
+                "local": lambda k, t: mapped_future(
+                    self.sim, client.local_get(k, timeout=t), _norm_versioned
+                ),
+            },
+            default_mode="log",
+            client_id=client.node_id,
+            client=client,
+        )
+
+    def server_ids(self) -> list[Hashable]:
+        return list(self.cluster.node_ids)
+
+    def history(self):
+        return self.cluster.recorder.history()
+
+    def snapshots(self) -> list[dict]:
+        return self.cluster.snapshots()
+
+
+# ---------------------------------------------------------------------------
+# Pileus consistency SLAs (over a timeline cluster)
+# ---------------------------------------------------------------------------
+
+
+class FixedTargetSLAClient(SLAClient):
+    """An SLA client pinned to one replica — the fixed-strategy
+    baseline Pileus is compared against in E7."""
+
+    def __init__(self, client, target: Hashable, monitor=None) -> None:
+        super().__init__(client, monitor)
+        self._target = target
+
+    def select_target(self, key, sla):
+        return self._target, 0
+
+
+@registry.register(StoreCapabilities(
+    name="pileus",
+    description="per-read consistency SLAs over a timeline store",
+    read_modes=("sla",),
+    session_guarantees=("ryw", "mr"),
+))
+class PileusStore(ConsistentStore):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: int = 3,
+        node_ids: list[Hashable] | None = None,
+        service_time: float = 0.0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(sim, network)
+        self.cluster = TimelineCluster(
+            sim, network, nodes=nodes, node_ids=node_ids, **kwargs
+        )
+        _apply_service_time(self.cluster.replicas, service_time)
+
+    def session(
+        self,
+        name: Hashable | None = None,
+        sla: SLA = SHOPPING_CART,
+        target: Hashable | None = None,
+        **opts: Any,
+    ) -> StoreSession:
+        client = self.cluster.connect(session=name, **opts)
+        if target is not None:
+            sla_client = FixedTargetSLAClient(client, target)
+        else:
+            sla_client = SLAClient(client)
+
+        session = FnSession(
+            client.session,
+            put_fn=lambda k, v, t: sla_client.write(k, v, timeout=t),
+            read_fns={
+                "sla": lambda k, t: mapped_future(
+                    self.sim,
+                    sla_client.read(k, sla, timeout=t),
+                    lambda outcome: (outcome.value, outcome.version or None),
+                ),
+            },
+            default_mode="sla",
+            client_id=client.node_id,
+            client=client,
+        )
+        session.sla_client = sla_client
+        return session
+
+    def server_ids(self) -> list[Hashable]:
+        return list(self.cluster.node_ids)
+
+    def history(self):
+        return self.cluster.recorder.history()
+
+    def snapshots(self) -> list[dict]:
+        return self.cluster.snapshots()

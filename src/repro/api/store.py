@@ -1,0 +1,215 @@
+"""The protocol-agnostic store interface.
+
+The tutorial's taxonomy has one axis of consistency guarantees and one
+axis of mechanisms — but a *client* only ever sees a key-value store.
+:class:`ConsistentStore` is that client surface, one per replication
+mechanism: ``put``/``get`` sessions plus a declared
+:class:`StoreCapabilities` record saying which read modes, session
+guarantees, and failure behaviors the mechanism offers.  Everything
+above this layer — the workload driver, the sharded router, the CLI,
+the conformance suite — is written once against this interface and
+works for every registered protocol.
+
+Contract
+--------
+* ``store.session(name)`` returns a :class:`StoreSession` — one
+  client session attached to the simulated network.
+* ``session.put(key, value, timeout=) -> Future`` resolves with a
+  protocol-specific **version token** (Lamport stamp, causal rank,
+  sequence number, …) whose only required property is a total order
+  within a key.
+* ``session.get(key, mode=, timeout=) -> Future`` resolves with
+  ``(value, token)``.  ``mode`` must be one of
+  ``store.capabilities.read_modes``.
+* Failures surface as :class:`repro.errors.ReproError` on the future.
+* ``store.history()`` returns the store-side recorded history when the
+  protocol keeps one (``capabilities.has_history``); the driver keeps
+  its own client-side history either way.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from ..histories import History
+from ..sim import Future, Network, Simulator
+
+
+@dataclass(frozen=True)
+class StoreCapabilities:
+    """What a registered protocol can do, for drivers and the CLI."""
+
+    name: str
+    description: str = ""
+    #: Read modes ``get`` accepts; index 0 is the default.
+    read_modes: tuple[str, ...] = ("default",)
+    #: Session guarantees enforceable via ``session(guarantees=...)``.
+    session_guarantees: tuple[str, ...] = ()
+    #: Exposes a tentative (pre-commit) read view.
+    tentative_reads: bool = False
+    #: Reads may return multiple sibling values.
+    multi_value_reads: bool = False
+    #: Clients reach the store over the simulated network (False for
+    #: Bayou's direct-attach replicas).
+    networked: bool = True
+    #: Keeps a store-side history (``store.history()`` works).
+    has_history: bool = True
+    #: Client ops keep succeeding when one non-coordinator replica
+    #: crashes (chain replication famously does not, without
+    #: reconfiguration).
+    survives_replica_crash: bool = True
+
+    @property
+    def default_read_mode(self) -> str:
+        return self.read_modes[0]
+
+
+class StoreSession(ABC):
+    """One client session: the uniform ``put``/``get`` surface."""
+
+    #: Session name (used as the history session id).
+    name: Hashable
+    #: The session's network node id, when it is a network client.
+    client_id: Hashable | None = None
+
+    @abstractmethod
+    def put(
+        self, key: Hashable, value: Any, timeout: float | None = None
+    ) -> Future:
+        """Write; resolves with the write's version token."""
+
+    @abstractmethod
+    def get(
+        self,
+        key: Hashable,
+        mode: str | None = None,
+        timeout: float | None = None,
+    ) -> Future:
+        """Read; resolves with ``(value, version token)``."""
+
+
+class FnSession(StoreSession):
+    """A session assembled from per-mode read callables.
+
+    Most adapters are exactly this: a wrapped protocol client, one
+    ``put`` callable, and a dict of read-mode callables — each taking
+    ``(key, timeout)`` and returning a future already normalized to
+    the contract above.
+    """
+
+    def __init__(
+        self,
+        name: Hashable,
+        put_fn: Callable[[Hashable, Any, float | None], Future],
+        read_fns: dict[str, Callable[[Hashable, float | None], Future]],
+        default_mode: str,
+        client_id: Hashable | None = None,
+        client: Any = None,
+    ) -> None:
+        self.name = name
+        self.client_id = client_id
+        self.client = client           # underlying protocol client (escape hatch)
+        self._put_fn = put_fn
+        self._read_fns = read_fns
+        self._default_mode = default_mode
+
+    def put(
+        self, key: Hashable, value: Any, timeout: float | None = None
+    ) -> Future:
+        return self._put_fn(key, value, timeout)
+
+    def get(
+        self,
+        key: Hashable,
+        mode: str | None = None,
+        timeout: float | None = None,
+    ) -> Future:
+        mode = mode or self._default_mode
+        read_fn = self._read_fns.get(mode)
+        if read_fn is None:
+            raise ValueError(
+                f"store does not support read mode {mode!r}; "
+                f"have {sorted(self._read_fns)}"
+            )
+        return read_fn(key, timeout)
+
+
+class ConsistentStore(ABC):
+    """A replicated KV store behind one client surface.
+
+    Adapters wrap the concrete cluster classes in
+    :mod:`repro.replication` / :mod:`repro.sla`; the wrapped cluster
+    stays reachable as ``store.cluster`` for protocol-specific
+    experimentation.
+    """
+
+    capabilities: StoreCapabilities
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+
+    @abstractmethod
+    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+        """Create a client session (``opts`` are adapter-specific:
+        ``coordinator=``, ``home=``, ``guarantees=``, ``sla=`` …)."""
+
+    @abstractmethod
+    def server_ids(self) -> list[Hashable]:
+        """Ids of the server/replica nodes (for fault injection)."""
+
+    def history(self) -> History:
+        """The store-side recorded history (when kept)."""
+        raise NotImplementedError(
+            f"{self.capabilities.name} keeps no store-side history; "
+            "use the workload driver's history instead"
+        )
+
+    def snapshots(self) -> list[dict]:
+        """Per-replica state snapshots (for convergence checks)."""
+        raise NotImplementedError
+
+    def settle(self) -> None:
+        """Force quiescence (anti-entropy sweep etc.); default no-op."""
+
+    def crash(self, node_id: Hashable) -> None:
+        """Crash one server node."""
+        self._server(node_id).crash()
+
+    def recover(self, node_id: Hashable) -> None:
+        """Recover a crashed server node."""
+        self._server(node_id).recover()
+
+    def _server(self, node_id: Hashable):
+        node = self.network.node(node_id)
+        if node is None or node_id not in self.server_ids():
+            raise KeyError(node_id)
+        return node
+
+
+def mapped_future(sim: Simulator, inner: Future, fn: Callable[[Any], Any]) -> Future:
+    """A future resolving with ``fn(inner.value)`` (errors pass through)."""
+    outer = Future(sim)
+
+    def done(future: Future) -> None:
+        if future.error is not None:
+            outer.fail(future.error)
+        else:
+            outer.resolve(fn(future.value))
+
+    inner.add_callback(done)
+    return outer
+
+
+def resolved(sim: Simulator, value: Any = None,
+             error: BaseException | None = None) -> Future:
+    """An already-completed future (for direct-attach stores like
+    Bayou whose operations are synchronous local calls)."""
+    future = Future(sim)
+    if error is not None:
+        future.fail(error)
+    else:
+        future.resolve(value)
+    return future

@@ -5,7 +5,9 @@ Commands
 ``examples``            list the runnable examples
 ``run <example>``       run one example by name (e.g. ``run quickstart``)
 ``pbs``                 print a quick PBS t-visibility grid
+``protocols``           list registered store adapters + capabilities
 ``spectrum``            print the E1-style consistency spectrum table
+                        (built through the registry + workload driver)
 ``trace <file.jsonl>``  print a filtered timeline + summary of a sim trace
 ``selftest``            import every module and run a smoke simulation
 
@@ -83,15 +85,112 @@ def cmd_pbs(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_spectrum(_args: argparse.Namespace) -> int:
-    bench_dir = pathlib.Path(__file__).resolve()
-    for parent in bench_dir.parents:
-        candidate = parent / "examples" / "geo_replication.py"
-        if candidate.exists():
-            runpy.run_path(str(candidate), run_name="__main__")
-            return 0
-    print("geo_replication example not found", file=sys.stderr)
-    return 2
+def cmd_protocols(_args: argparse.Namespace) -> int:
+    """List every registered store adapter with its capability flags."""
+    from .analysis import print_table
+    from .api import registry
+
+    rows = []
+    for spec in registry.specs():
+        caps = spec.capabilities
+        flags = []
+        if caps.tentative_reads:
+            flags.append("tentative")
+        if caps.multi_value_reads:
+            flags.append("siblings")
+        if not caps.networked:
+            flags.append("direct")
+        if not caps.survives_replica_crash:
+            flags.append("fragile")
+        rows.append([
+            spec.name,
+            ",".join(caps.read_modes),
+            ",".join(caps.session_guarantees) or "-",
+            "yes" if caps.has_history else "no",
+            ",".join(flags) or "-",
+            caps.description,
+        ])
+    print_table(
+        ["protocol", "read modes", "session", "history", "flags",
+         "description"],
+        rows,
+        title=f"{len(rows)} registered protocols (repro.api.registry)",
+    )
+    return 0
+
+
+#: ``repro spectrum`` rungs: registry name, label, build kwargs, session
+#: kwargs, read mode.  Node ids n0/n1/n2 map to us-east/eu/asia; the
+#: client sits in the EU.
+_SPECTRUM_RUNGS = [
+    ("quorum", "eventual (R=W=1)",
+     dict(n=3, r=1, w=1, op_deadline=2_000.0), dict(coordinator="n1"), None),
+    ("quorum", "quorum (R=W=2)",
+     dict(n=3, r=2, w=2, op_deadline=2_000.0), dict(coordinator="n1"), None),
+    ("causal", "causal (local)", {}, dict(home="n1"), None),
+    ("timeline", "timeline (read local)", {}, dict(home="n1"), "any"),
+    ("timeline", "session RYW+MR",
+     {}, dict(home="n1", guarantees=("ryw", "mr"), retry_delay=10.0), "any"),
+    ("pileus", "pileus (SLA reads)", {}, dict(home="n1"), None),
+    ("primary_backup", "primary-backup (async)", dict(mode="async"), {}, None),
+    ("multipaxos", "strong (paxos)", {}, {}, None),
+    ("chain", "strong (chain)", {}, {}, None),
+]
+
+
+def cmd_spectrum(args: argparse.Namespace) -> int:
+    """The E1-style spectrum table, produced through the store registry
+    and the protocol-agnostic workload driver."""
+    from .analysis import print_table
+    from .api import registry
+    from .checkers import check_linearizability, stale_read_fraction
+    from .sim import THREE_CONTINENTS, Network, Simulator
+    from .workload import OpSpec, WorkloadDriver
+
+    sites = ("us-east", "eu", "asia")
+    node_ids = ["n0", "n1", "n2"]
+    rounds = args.rounds
+    ops = []
+    for i in range(rounds):
+        key = f"key-{i % 3}"
+        ops += [OpSpec("update", key, f"v{i}"), OpSpec("sleep", "", 5.0),
+                OpSpec("read", key), OpSpec("sleep", "", 5.0)]
+
+    rows = []
+    for name, label, build_kwargs, session_kwargs, read_mode in _SPECTRUM_RUNGS:
+        sim = Simulator(seed=args.seed)
+        placement = dict(zip(node_ids, sites))
+        placement["client-eu"] = "eu"
+        network = Network(
+            sim, latency=THREE_CONTINENTS.latency_model(placement, jitter=0.05)
+        )
+        store = registry.build(name, sim, network, nodes=3,
+                               node_ids=node_ids, **build_kwargs)
+        if hasattr(store.cluster, "set_master"):
+            for i in range(3):
+                store.cluster.set_master(f"key-{i}", "n0")
+        session_kwargs = dict(session_kwargs)
+        if store.capabilities.networked:
+            session_kwargs["client_id"] = "client-eu"
+        driver = WorkloadDriver(sim)
+        driver.add_session(store.session("eu-user", **session_kwargs), ops,
+                           read_mode=read_mode, timeout=4_000.0)
+        result = driver.run()
+        history = result.history
+        rows.append([
+            label,
+            round(result.read_latency.mean, 1),
+            round(result.write_latency.mean, 1),
+            round(stale_read_fraction(history), 3),
+            check_linearizability(history).ok,
+        ])
+    print_table(
+        ["protocol", "read ms", "write ms", "stale reads", "linearizable"],
+        rows,
+        title="consistency spectrum, one EU client, replicas on "
+              "us-east/eu/asia (registry-driven)",
+    )
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -196,7 +295,15 @@ def main(argv: list[str] | None = None) -> int:
     pbs_parser.add_argument("--trials", type=int, default=4000)
     pbs_parser.add_argument("--wan", action="store_true")
 
-    sub.add_parser("spectrum", help="print the consistency spectrum table")
+    spectrum_parser = sub.add_parser(
+        "spectrum", help="print the consistency spectrum table"
+    )
+    spectrum_parser.add_argument("--rounds", type=int, default=15)
+    spectrum_parser.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser(
+        "protocols", help="list registered store adapters + capabilities"
+    )
 
     trace_parser = sub.add_parser(
         "trace", help="summarize a JSONL trace dumped by repro.sim.Tracer"
@@ -225,6 +332,7 @@ def main(argv: list[str] | None = None) -> int:
         "examples": cmd_examples,
         "run": cmd_run,
         "pbs": cmd_pbs,
+        "protocols": cmd_protocols,
         "spectrum": cmd_spectrum,
         "trace": cmd_trace,
         "selftest": cmd_selftest,

@@ -9,7 +9,7 @@ than asserted.
 """
 
 from .events import History, Operation, make_read, make_write
-from .recorder import HistoryRecorder
+from .recorder import HistoryRecorder, TokenHistoryRecorder
 
 #: Aliases that read naturally at call sites.
 ReadOp = make_read
@@ -21,6 +21,7 @@ __all__ = [
     "WriteOp",
     "History",
     "HistoryRecorder",
+    "TokenHistoryRecorder",
     "make_read",
     "make_write",
 ]

@@ -94,3 +94,95 @@ class HistoryRecorder:
     def record(self, op: Operation) -> None:
         """Append an externally built operation (for composition)."""
         self._ops.append(op)
+
+
+@dataclass
+class _TokenOp:
+    kind: str
+    key: Hashable
+    session: Hashable
+    start: float
+    end: float | None
+    token: Any
+    value: Any
+    replica: Hashable
+
+
+class TokenHistoryRecorder(HistoryRecorder):
+    """A recorder for version *tokens* instead of integer versions.
+
+    The protocols stamp operations with heterogeneous version metadata
+    — Lamport stamps, causal ranks, per-record sequence numbers —
+    whose only shared property is a total order *within a key*.  This
+    recorder accepts those tokens directly (:meth:`complete_token`)
+    and densifies them into per-key integer versions at
+    :meth:`history` time, exactly the post-hoc scheme
+    :meth:`repro.replication.DynamoCluster.history` uses.  It is what
+    lets one workload driver record a checkable history against any
+    store behind the :mod:`repro.api` interface.
+
+    Falsy tokens (``None``, ``0``, empty context) mean "nothing
+    observed" and map to version 0, the checkers' initial state.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        super().__init__(sim)
+        self._token_ops: list[_TokenOp] = []
+
+    def complete_token(
+        self,
+        handle: int,
+        token: Any,
+        value: Any = None,
+        replica: Hashable = None,
+    ) -> None:
+        """Record a successful response carrying a version token."""
+        pending = self._pending.pop(handle)
+        self._token_ops.append(
+            _TokenOp(
+                pending.kind, pending.key, pending.session, pending.start,
+                self.sim.now, token if token else None, value,
+                replica if replica is not None else pending.replica,
+            )
+        )
+
+    def fail(self, handle: int) -> None:  # type: ignore[override]
+        """Record an operation that never produced a response."""
+        pending = self._pending.pop(handle)
+        self._token_ops.append(
+            _TokenOp(
+                pending.kind, pending.key, pending.session, pending.start,
+                None, None, None, pending.replica,
+            )
+        )
+
+    def history(self) -> History:
+        """Densify tokens into per-key versions; reads contribute their
+        observed tokens too, so writes that timed out client-side but
+        landed on replicas still rank consistently."""
+        tokens_by_key: dict[Hashable, set] = {}
+        for raw in self._token_ops:
+            if raw.token is not None:
+                tokens_by_key.setdefault(raw.key, set()).add(raw.token)
+        rank: dict[tuple[Hashable, Any], int] = {}
+        for key, tokens in tokens_by_key.items():
+            for index, token in enumerate(sorted(tokens), start=1):
+                rank[(key, token)] = index
+        ops = list(self._ops)
+        for raw in self._token_ops:
+            version = 0
+            if raw.token is not None:
+                version = rank.get((raw.key, raw.token), 0)
+            ops.append(
+                Operation(
+                    kind=raw.kind,
+                    key=raw.key,
+                    version=version,
+                    session=raw.session,
+                    start=raw.start,
+                    end=raw.end,
+                    value=raw.value,
+                    replica=raw.replica,
+                )
+            )
+        return History(ops)

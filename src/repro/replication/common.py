@@ -97,9 +97,33 @@ class ServerNode(Node):
     Subclasses define ``serve_<PayloadClassName>`` methods; each may
     return a plain value (replied immediately) or a :class:`Future`
     (replied when it resolves).
+
+    ``service_time`` (ms, default 0 = infinitely fast) models the
+    node's request-processing capacity: requests are admitted through
+    a FIFO single-server queue, so one node saturates at
+    ``1000 / service_time`` client ops per second.  It is what makes
+    horizontal scaling (:mod:`repro.sharding`) measurable — without
+    it every node has infinite capacity and sharding cannot help
+    throughput.
     """
 
+    #: Per-request processing time in ms; 0 disables queueing entirely.
+    service_time: float = 0.0
+
+    def __init__(self, sim, network, node_id: Hashable) -> None:
+        super().__init__(sim, network, node_id)
+        self._busy_until = 0.0
+
     def handle_Request(self, src: Hashable, msg: Request) -> None:
+        if self.service_time <= 0:
+            self._dispatch_request(src, msg)
+            return
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + self.service_time
+        self.set_timer(self._busy_until - self.sim.now,
+                       self._dispatch_request, src, msg)
+
+    def _dispatch_request(self, src: Hashable, msg: Request) -> None:
         handler = getattr(self, f"serve_{type(msg.payload).__name__}", None)
         if handler is None:
             raise SimulationError(

@@ -1,0 +1,5 @@
+"""Horizontal partitioning: a key-range router over replicated stores."""
+
+from .sharded import ShardedSession, ShardedStore
+
+__all__ = ["ShardedStore", "ShardedSession"]

@@ -1,0 +1,183 @@
+"""Key-range sharding over independent replicated stores.
+
+Replication answers durability and read latency; it does nothing for
+write throughput — every replica still applies every write.  The
+standard fix is orthogonal: partition the keyspace over N independent
+replica groups ("shards"), each running its own instance of *any*
+replication protocol.  :class:`ShardedStore` is that router, built
+from two existing pieces:
+
+* the :class:`~repro.replication.HashRing` (one vnode-weighted entry
+  per shard) decides ownership, and
+* the :mod:`repro.api` registry builds one store per shard, so the
+  same router shards Dynamo quorums, Paxos groups, or chains without
+  caring which.
+
+The router is itself a :class:`~repro.api.ConsistentStore`, so the
+workload driver, the checkers, and the conformance suite run against a
+sharded store exactly as against a single cluster.  Routing metrics
+publish under ``shard.*`` in ``sim.metrics``.
+
+Capacity note: with :attr:`ServerNode.service_time
+<repro.replication.common.ServerNode.service_time>` set, each shard's
+nodes saturate independently — which is what makes throughput scale
+with shard count (benchmarks/test_e13_sharding.py measures it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from ..api import registry
+from ..api.store import ConsistentStore, StoreCapabilities, StoreSession
+from ..histories import History
+from ..replication import HashRing
+from ..sim import Network, Simulator
+
+
+class ShardedSession(StoreSession):
+    """Routes each op to the owning shard's session (created lazily)."""
+
+    def __init__(self, store: "ShardedStore", name: Hashable,
+                 session_opts: dict) -> None:
+        self.name = name
+        self.client_id = None
+        self._store = store
+        self._opts = session_opts
+        self._sub: dict[Hashable, StoreSession] = {}
+
+    def _session_for(self, key: Hashable) -> StoreSession:
+        shard_id = self._store.shard_of(key)
+        session = self._sub.get(shard_id)
+        if session is None:
+            opts = dict(self._opts)
+            if self._store.spec.capabilities.networked:
+                # Per-shard clusters number their clients independently;
+                # on a shared network the ids would collide, so the
+                # router hands out globally unique ones.
+                self._store._clients += 1
+                opts.setdefault(
+                    "client_id", f"{shard_id}-client{self._store._clients}"
+                )
+            session = self._store.shards[shard_id].session(
+                f"{self.name}@{shard_id}", **opts
+            )
+            self._sub[shard_id] = session
+        self._store._ops_routed.inc()
+        self._store._per_shard_ops[shard_id].inc()
+        return session
+
+    def put(self, key, value, timeout=None):
+        return self._session_for(key).put(key, value, timeout=timeout)
+
+    def get(self, key, mode=None, timeout=None):
+        return self._session_for(key).get(key, mode=mode, timeout=timeout)
+
+
+class ShardedStore(ConsistentStore):
+    """N independent per-shard clusters behind one store surface.
+
+    ::
+
+        store = ShardedStore(sim, net, protocol="quorum", shards=4,
+                             nodes_per_shard=3, n=3, r=2, w=2)
+        session = store.session("alice")
+        session.put("user1", "x")       # routed by ring ownership
+
+    ``protocol`` is any registry name; extra kwargs go to every
+    per-shard cluster.  Shard ``i``'s nodes are named
+    ``shard{i}-n{j}`` so a sharded deployment stays inspectable in
+    traces and fault injection.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        protocol: str = "quorum",
+        shards: int = 2,
+        nodes_per_shard: int = 3,
+        vnodes: int = 64,
+        service_time: float = 0.0,
+        **cluster_kwargs: Any,
+    ) -> None:
+        super().__init__(sim, network)
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        spec = registry.get(protocol)
+        self.protocol = protocol
+        self.spec = spec
+        self.shard_ids = [f"shard{i}" for i in range(shards)]
+        self.ring = HashRing(self.shard_ids, vnodes=vnodes)
+        self.shards: dict[Hashable, ConsistentStore] = {}
+        for shard_id in self.shard_ids:
+            node_ids = [
+                f"{shard_id}-n{j}" for j in range(nodes_per_shard)
+            ]
+            self.shards[shard_id] = spec.build(
+                sim, network, nodes=nodes_per_shard, node_ids=node_ids,
+                service_time=service_time, **cluster_kwargs,
+            )
+        self.capabilities = StoreCapabilities(
+            name=f"sharded[{protocol}x{shards}]",
+            description=f"{shards}-shard router over {protocol}",
+            read_modes=spec.capabilities.read_modes,
+            session_guarantees=(),
+            tentative_reads=spec.capabilities.tentative_reads,
+            multi_value_reads=spec.capabilities.multi_value_reads,
+            networked=spec.capabilities.networked,
+            has_history=spec.capabilities.has_history,
+            survives_replica_crash=spec.capabilities.survives_replica_crash,
+        )
+        metrics = sim.metrics
+        self._ops_routed = metrics.counter("shard.ops_routed")
+        self._per_shard_ops = {
+            shard_id: metrics.counter(f"shard.{shard_id}.ops")
+            for shard_id in self.shard_ids
+        }
+        metrics.gauge("shard.count").set(shards)
+        self._sessions = 0
+        self._clients = 0
+
+    # ------------------------------------------------------------------
+    def shard_of(self, key: Hashable) -> Hashable:
+        """The shard owning ``key`` (ring coordinator)."""
+        return self.ring.coordinator(key)
+
+    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+        self._sessions += 1
+        name = name if name is not None else f"sharded-{self._sessions}"
+        return ShardedSession(self, name, opts)
+
+    def server_ids(self) -> list[Hashable]:
+        return [
+            node_id
+            for shard_id in self.shard_ids
+            for node_id in self.shards[shard_id].server_ids()
+        ]
+
+    def history(self) -> History:
+        """Union of the per-shard histories (keys never span shards,
+        so per-key version orders are unaffected by the merge)."""
+        ops = []
+        for shard_id in self.shard_ids:
+            ops.extend(self.shards[shard_id].history())
+        return History(ops)
+
+    def snapshots(self) -> list[dict]:
+        return [
+            snapshot
+            for shard_id in self.shard_ids
+            for snapshot in self.shards[shard_id].snapshots()
+        ]
+
+    def settle(self) -> None:
+        for shard_id in self.shard_ids:
+            self.shards[shard_id].settle()
+
+    def routed_ops(self) -> dict[Hashable, int]:
+        """Ops routed per shard so far (load-balance check)."""
+        return {
+            shard_id: counter.value
+            for shard_id, counter in self._per_shard_ops.items()
+        }

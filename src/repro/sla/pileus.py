@@ -164,9 +164,11 @@ class SLAClient:
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def write(self, key: Hashable, value: Any) -> Future:
+    def write(
+        self, key: Hashable, value: Any, timeout: float | None = None
+    ) -> Future:
         self._last_write_time[key] = self.sim.now
-        inner = self.client.write(key, value)
+        inner = self.client.write(key, value, timeout)
         outer = Future(self.sim, label=f"sla-write({key!r})")
         started = self.sim.now
 
@@ -245,7 +247,9 @@ class SLAClient:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def read(self, key: Hashable, sla: SLA) -> Future:
+    def read(
+        self, key: Hashable, sla: SLA, timeout: float | None = None
+    ) -> Future:
         """SLA-driven read; resolves with a :class:`ReadOutcome`."""
         outer = Future(self.sim, label=f"sla-read({key!r})")
         target, target_rank = self.select_target(key, sla)
@@ -256,7 +260,7 @@ class SLAClient:
 
             try:
                 value, version = yield self.client.request(
-                    target, TReadAny(key)
+                    target, TReadAny(key), timeout
                 )
             except ReproError as exc:
                 outer.fail(exc)

@@ -1,7 +1,10 @@
-"""Workload generators: YCSB mixes, carts, bank ops, key distributions."""
+"""Workload generators: YCSB mixes, carts, bank ops, key distributions —
+plus the protocol-agnostic closed-loop driver that runs them against
+any :mod:`repro.api` store."""
 
 from .bank import BankOp, BankWorkload, DebitOp, DebitWorkload
 from .cart import CartOp, CartWorkload
+from .driver import DriverResult, LaneStats, WorkloadDriver, run_workload
 from .keyspace import (
     HotspotKeys,
     LatestKeys,
@@ -27,4 +30,8 @@ __all__ = [
     "BankOp",
     "DebitWorkload",
     "DebitOp",
+    "WorkloadDriver",
+    "DriverResult",
+    "LaneStats",
+    "run_workload",
 ]

@@ -1,0 +1,298 @@
+"""The protocol-agnostic workload driver.
+
+One closed-loop driver replaces the bespoke client scripts the
+benchmarks used to carry: it consumes :class:`OpSpec` streams from any
+generator in :mod:`repro.workload`, issues them against any
+:class:`repro.api.ConsistentStore` session, records every operation
+into a :class:`~repro.histories.TokenHistoryRecorder`, and returns a
+:class:`DriverResult` whose history plugs straight into the checkers.
+
+Shape::
+
+    driver = WorkloadDriver(sim)
+    lane = driver.add_session(store.session("alice"), workload.take(200),
+                              think_time=5.0, timeout=500.0)
+    driver.run()
+    result = driver.result()
+    check_session_guarantees(result.history, ...)
+
+Lanes run concurrently; each lane is one session working through its
+own op stream closed-loop (next op issues when the previous resolves).
+``add_clients`` fans one shared stream across N sessions — the
+standard YCSB closed-loop client pool.
+
+Op semantics
+------------
+* ``read`` — ``session.get``; records a ``read``.
+* ``update`` / ``insert`` — ``session.put``; records a ``write``.
+* ``rmw`` — read-modify-write (YCSB workload F): a recorded ``read``,
+  then a recorded ``write`` of ``rmw_fn(read value, spec.value)``
+  (default: the spec's fresh value).  Skipped writes (failed read) are
+  not issued.
+* ``sleep`` — advance simulated time by ``float(spec.value)`` ms
+  without touching the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ..analysis import LatencyStats
+from ..errors import ReproError
+from ..histories import History, TokenHistoryRecorder
+from ..sim import Simulator, spawn
+from .ycsb import OpSpec
+
+
+@dataclass
+class LaneStats:
+    """Per-session outcome counts (E5's per-side availability etc.)."""
+
+    name: Any
+    ops: int = 0            # specs consumed (an rmw counts once)
+    ok: int = 0
+    failed: int = 0
+    reads: int = 0
+    writes: int = 0
+    rmw: int = 0
+
+
+@dataclass
+class DriverResult:
+    """What a finished run produced."""
+
+    history: History
+    lanes: list[LaneStats]
+    duration: float                 # ms of simulated time the run spanned
+    read_latency: LatencyStats
+    write_latency: LatencyStats
+
+    @property
+    def ops_total(self) -> int:
+        return sum(lane.ops for lane in self.lanes)
+
+    @property
+    def ops_ok(self) -> int:
+        return sum(lane.ok for lane in self.lanes)
+
+    @property
+    def ops_failed(self) -> int:
+        return sum(lane.failed for lane in self.lanes)
+
+    @property
+    def rmw_total(self) -> int:
+        return sum(lane.rmw for lane in self.lanes)
+
+    @property
+    def throughput(self) -> float:
+        """Completed client ops per simulated second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.ops_ok / (self.duration / 1000.0)
+
+
+@dataclass
+class _Lane:
+    session: Any
+    ops: Iterable[OpSpec]
+    stats: LaneStats
+    think_time: float = 0.0
+    read_mode: str | None = None
+    timeout: float | None = None
+    rmw_fn: Callable[[Any, Any], Any] | None = None
+    on_op: Callable[[OpSpec, bool], None] | None = None
+
+
+class WorkloadDriver:
+    """Closed-loop driver running op streams against store sessions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        recorder: TokenHistoryRecorder | None = None,
+    ) -> None:
+        self.sim = sim
+        #: Shared by every lane; pass one recorder to several drivers to
+        #: densify their histories together.
+        self.recorder = recorder or TokenHistoryRecorder(sim)
+        self.read_latency = LatencyStats()
+        self.write_latency = LatencyStats()
+        self._lanes: list[_Lane] = []
+        self._started = False
+        self._start_time: float | None = None
+        self._end_time: float | None = None
+        self._active = 0
+        self._processes: list = []
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def add_session(
+        self,
+        session: Any,
+        ops: Iterable[OpSpec],
+        think_time: float = 0.0,
+        read_mode: str | None = None,
+        timeout: float | None = None,
+        rmw_fn: Callable[[Any, Any], Any] | None = None,
+        on_op: Callable[[OpSpec, bool], None] | None = None,
+        label: Any = None,
+    ) -> LaneStats:
+        """Add one lane: ``session`` works through ``ops`` closed-loop.
+
+        ``on_op(spec, ok)`` is called after each spec finishes — the
+        hook benches use for phase-dependent accounting.
+        """
+        stats = LaneStats(label if label is not None else session.name)
+        self._lanes.append(
+            _Lane(session, ops, stats, think_time, read_mode, timeout,
+                  rmw_fn, on_op)
+        )
+        return stats
+
+    def add_clients(
+        self,
+        store: Any,
+        clients: int,
+        ops: Iterable[OpSpec],
+        session_opts: dict | None = None,
+        **lane_opts: Any,
+    ) -> list[LaneStats]:
+        """Fan one shared op stream across ``clients`` fresh sessions
+        (the YCSB closed-loop client pool)."""
+        shared = iter(ops)
+        return [
+            self.add_session(
+                store.session(**(session_opts or {})), shared, **lane_opts
+            )
+            for _ in range(clients)
+        ]
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn every lane's client process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._start_time = self.sim.now
+        for lane in self._lanes:
+            self._active += 1
+            self._processes.append(
+                spawn(self.sim, self._lane_script(lane),
+                      name=f"driver-{lane.stats.name}")
+            )
+
+    def run(self, until: float | None = None) -> "DriverResult":
+        """Start (if needed) and run the simulation; returns the result.
+
+        Protocol-level failures are recorded in the lane stats, but a
+        bug in the workload itself (an op kind the driver cannot run,
+        a broken ``rmw_fn``) is re-raised rather than swallowed.
+        """
+        self.start()
+        self.sim.run(until)
+        for process in self._processes:
+            if process.error is not None:
+                raise process.error
+        return self.result()
+
+    def result(self) -> DriverResult:
+        start = self._start_time if self._start_time is not None else 0.0
+        # Duration spans the lanes' work, not dangling timeout timers
+        # the simulator may still drain after the last op completes.
+        end = self._end_time if self._active == 0 and \
+            self._end_time is not None else self.sim.now
+        return DriverResult(
+            history=self.recorder.history(),
+            lanes=[lane.stats for lane in self._lanes],
+            duration=end - start,
+            read_latency=self.read_latency,
+            write_latency=self.write_latency,
+        )
+
+    # ------------------------------------------------------------------
+    # Lane execution
+    # ------------------------------------------------------------------
+    def _lane_script(self, lane: _Lane):
+        session, stats = lane.session, lane.stats
+        for spec in lane.ops:
+            if spec.op == "sleep":
+                yield float(spec.value)
+                continue
+            stats.ops += 1
+            if spec.op == "read":
+                ok = yield from self._read(lane, spec.key)
+                stats.reads += 1
+            elif spec.op in ("update", "insert", "write", "put"):
+                ok = yield from self._write(lane, spec.key, spec.value)
+                stats.writes += 1
+            elif spec.op == "rmw":
+                stats.rmw += 1
+                ok, value = yield from self._read(lane, spec.key,
+                                                  want_value=True)
+                stats.reads += 1
+                if ok:
+                    new = (lane.rmw_fn(value, spec.value)
+                           if lane.rmw_fn is not None else spec.value)
+                    ok = yield from self._write(lane, spec.key, new)
+                    stats.writes += 1
+            else:
+                raise ValueError(f"driver cannot run op {spec.op!r}")
+            if ok:
+                stats.ok += 1
+            else:
+                stats.failed += 1
+            if lane.on_op is not None:
+                lane.on_op(spec, ok)
+            if lane.think_time > 0:
+                yield lane.think_time
+        self._active -= 1
+        self._end_time = max(self._end_time or 0.0, self.sim.now)
+
+    def _read(self, lane: _Lane, key, want_value: bool = False):
+        handle = self.recorder.begin("read", key, lane.session.name,
+                                     replica=lane.session.client_id)
+        started = self.sim.now
+        try:
+            value, token = yield lane.session.get(
+                key, mode=lane.read_mode, timeout=lane.timeout
+            )
+        except ReproError:
+            self.recorder.fail(handle)
+            return (False, None) if want_value else False
+        self.read_latency.record(self.sim.now - started)
+        self.recorder.complete_token(handle, token, value)
+        return (True, value) if want_value else True
+
+    def _write(self, lane: _Lane, key, value):
+        handle = self.recorder.begin("write", key, lane.session.name,
+                                     replica=lane.session.client_id)
+        started = self.sim.now
+        try:
+            token = yield lane.session.put(key, value, timeout=lane.timeout)
+        except ReproError:
+            self.recorder.fail(handle)
+            return False
+        self.write_latency.record(self.sim.now - started)
+        self.recorder.complete_token(handle, token, value)
+        return True
+
+
+def run_workload(
+    store: Any,
+    ops: Iterable[OpSpec],
+    clients: int = 1,
+    session_opts: dict | None = None,
+    recorder: TokenHistoryRecorder | None = None,
+    until: float | None = None,
+    **lane_opts: Any,
+) -> DriverResult:
+    """One-call convenience: drive ``ops`` against ``store`` and return
+    the :class:`DriverResult`."""
+    driver = WorkloadDriver(store.sim, recorder=recorder)
+    driver.add_clients(store, clients, ops, session_opts=session_opts,
+                       **lane_opts)
+    return driver.run(until)

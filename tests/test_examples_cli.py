@@ -56,3 +56,20 @@ def test_cli_run_executes_example(capsys):
     assert main(["run", "shopping_cart"]) == 0
     out = capsys.readouterr().out
     assert "OR-set" in out
+
+
+def test_cli_protocols_command(capsys):
+    from repro.api import registry
+
+    assert main(["protocols"]) == 0
+    out = capsys.readouterr().out
+    for name in registry.names():
+        assert name in out
+
+
+def test_cli_spectrum_command(capsys):
+    assert main(["spectrum", "--rounds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "eventual (R=W=1)" in out
+    assert "strong (paxos)" in out
+    assert "linearizable" in out

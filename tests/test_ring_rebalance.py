@@ -1,0 +1,65 @@
+"""Rebalance property of the consistent hash ring.
+
+The reason :class:`~repro.replication.ring.HashRing` (and the sharded
+router built on it) uses consistent hashing instead of ``hash(key) %
+N``: adding or removing one node relocates only ~1/N of the keyspace,
+and every relocated key moves *to* the new node (on add) or *from* the
+departed node (on remove) — no unrelated shuffling.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication import HashRing
+
+KEYS = [f"key-{i}" for i in range(2000)]
+
+node_counts = st.integers(min_value=2, max_value=8)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def assignment(ring):
+    return {key: ring.coordinator(key) for key in KEYS}
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=node_counts, seed=seeds)
+def test_add_node_moves_about_one_over_n(n, seed):
+    ring = HashRing([f"n{seed}-{i}" for i in range(n)], vnodes=64)
+    before = assignment(ring)
+    newcomer = f"n{seed}-new"
+    ring.add_node(newcomer)
+    after = assignment(ring)
+
+    moved = [key for key in KEYS if before[key] != after[key]]
+    # Every moved key moved TO the new node, never between old nodes.
+    assert all(after[key] == newcomer for key in moved)
+    # And roughly 1/(n+1) of the keyspace moved (generous envelope:
+    # vnode placement is random-ish, so allow 3x either way).
+    expected = len(KEYS) / (n + 1)
+    assert expected / 3 <= len(moved) <= expected * 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=node_counts, seed=seeds)
+def test_remove_node_moves_only_its_keys(n, seed):
+    nodes = [f"m{seed}-{i}" for i in range(n + 1)]
+    ring = HashRing(nodes, vnodes=64)
+    before = assignment(ring)
+    victim = nodes[seed % len(nodes)]
+    ring.remove_node(victim)
+    after = assignment(ring)
+
+    for key in KEYS:
+        if before[key] == victim:
+            assert after[key] != victim          # reassigned somewhere
+        else:
+            assert after[key] == before[key]     # untouched
+
+
+def test_round_trip_add_remove_is_identity():
+    ring = HashRing(["a", "b", "c"], vnodes=32)
+    before = assignment(ring)
+    ring.add_node("d")
+    ring.remove_node("d")
+    assert assignment(ring) == before

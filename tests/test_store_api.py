@@ -1,0 +1,217 @@
+"""Conformance suite for the protocol-agnostic store API.
+
+Every adapter registered in :mod:`repro.api.registry` must honor the
+same contract: sessions round-trip ``put``/``get``, failures surface
+as :class:`~repro.errors.ReproError` on the future, partitions produce
+timeouts (networked stores), server-side errors propagate through the
+reply channel, and a crash of one non-critical replica is survivable
+exactly when the adapter's capabilities say so.
+"""
+
+import pytest
+
+from repro import Network, Simulator, spawn
+from repro.api import ConsistentStore, registry
+from repro.errors import ReproError
+from repro.errors import TimeoutError as ReproTimeoutError
+from repro.sim import FixedLatency
+
+#: Adapter-specific knobs so the same conformance script runs
+#: everywhere: session options, a settle pause before reading, and a
+#: read mode guaranteed to see an acknowledged write.
+TUNING = {
+    "quorum": dict(),
+    "quorum_siblings": dict(),
+    "causal": dict(),
+    "timeline": dict(read_mode="latest"),
+    "bayou": dict(read_token=False),
+    "primary_backup": dict(),
+    "chain": dict(),
+    "multipaxos": dict(),
+    "pileus": dict(pause=500.0),
+}
+
+ALL_PROTOCOLS = registry.names()
+
+
+def build_store(name, sim, **extra):
+    net = Network(sim, latency=FixedLatency(2.0))
+    build_kwargs = dict(TUNING[name].get("build", {}))
+    build_kwargs.update(extra)
+    return registry.build(name, sim, net, nodes=3, **build_kwargs)
+
+
+def run(sim, gen):
+    """Spawn, run to quiescence, and re-raise any script error."""
+    process = spawn(sim, gen)
+    sim.run()
+    if process.error is not None:
+        raise process.error
+    return process.result
+
+
+def normalize(store, value):
+    if store.capabilities.multi_value_reads:
+        assert isinstance(value, tuple)
+        assert len(value) == 1
+        return value[0]
+    return value
+
+
+def test_registry_is_complete():
+    assert len(ALL_PROTOCOLS) >= 9
+    for name in ALL_PROTOCOLS:
+        spec = registry.get(name)
+        assert spec.name == name
+        assert spec.capabilities.read_modes
+        assert spec.capabilities.description
+    with pytest.raises(KeyError):
+        registry.get("no-such-protocol")
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_round_trip(name):
+    """put then get returns the written value with an ordered token."""
+    sim = Simulator(seed=11)
+    store = build_store(name, sim)
+    assert isinstance(store, ConsistentStore)
+    session = store.session("conformance", **TUNING[name].get("session", {}))
+    mode = TUNING[name].get("read_mode")
+    pause = TUNING[name].get("pause", 100.0)
+    seen = {}
+
+    def script():
+        token1 = yield session.put("ck", "v1")
+        yield pause
+        token2 = yield session.put("ck", "v2")
+        yield pause
+        value, token = yield session.get("ck", mode=mode)
+        seen.update(t1=token1, t2=token2, value=value, token=token)
+
+    run(sim, script())
+    assert normalize(store, seen["value"]) == "v2"
+    # Version tokens are totally ordered within the key.
+    assert seen["t2"] > seen["t1"]
+    if TUNING[name].get("read_token", True):
+        assert seen["token"] is not None
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_default_read_mode_and_unknown_mode(name):
+    sim = Simulator(seed=3)
+    store = build_store(name, sim)
+    session = store.session(**TUNING[name].get("session", {}))
+    caps = store.capabilities
+    assert caps.default_read_mode == caps.read_modes[0]
+    with pytest.raises(ValueError):
+        session.get("k", mode="definitely-not-a-mode")
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_partition_times_out(name):
+    """A client cut off from every server observes a clean timeout."""
+    sim = Simulator(seed=7)
+    store = build_store(name, sim)
+    if not store.capabilities.networked:
+        pytest.skip("direct-attach store: no network to partition")
+    session = store.session("lonely", **TUNING[name].get("session", {}))
+    store.network.partition([session.client_id])
+    outcome = {}
+
+    def script():
+        try:
+            yield session.put("pk", "pv", timeout=100.0)
+        except ReproTimeoutError as exc:
+            outcome["error"] = exc
+
+    run(sim, script())
+    assert isinstance(outcome.get("error"), ReproTimeoutError)
+
+
+def test_server_error_propagates():
+    """Errors raised server-side (not timeouts) cross the reply channel
+    and fail the client future with the rebuilt exception type."""
+    sim = Simulator(seed=5)
+    store = build_store("quorum", sim, n=3, r=2, w=2,
+                        sloppy=False, op_deadline=150.0,
+                        client_timeout=10_000.0, hint_interval=None)
+    session = store.session("err", coordinator=store.server_ids()[0])
+    for node_id in store.server_ids()[1:]:
+        store.crash(node_id)
+    outcome = {}
+
+    def script():
+        try:
+            yield session.put("k", "v")
+        except ReproError as exc:
+            outcome["error"] = exc
+
+    run(sim, script())
+    # The coordinator answered (no client-side timeout) with the
+    # protocol's quorum-failure error.
+    error = outcome["error"]
+    assert isinstance(error, ReproError)
+    assert not isinstance(error, ReproTimeoutError)
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_non_coordinator_replica_crash(name):
+    """Crash a replica the session does not talk to directly: stores
+    with ``survives_replica_crash`` keep serving; fragile ones
+    (chain replication without reconfiguration) stop."""
+    sim = Simulator(seed=13)
+    store = build_store(name, sim)
+    caps = store.capabilities
+    if not caps.networked:
+        pytest.skip("direct-attach store: clients bypass the network")
+    session_opts = dict(TUNING[name].get("session", {}))
+    servers = store.server_ids()
+    # Pin the session to the first server where the adapter allows it,
+    # then crash the last server (never the pinned/primary one).
+    if name in ("quorum", "quorum_siblings"):
+        session_opts["coordinator"] = servers[0]
+    if name in ("causal", "timeline"):
+        session_opts["home"] = servers[0]
+    if name == "pileus":
+        session_opts.update(home=servers[0], target=servers[0])
+    session = store.session("survivor", **session_opts)
+    mode = TUNING[name].get("read_mode")
+    victim = servers[-1]
+    if name == "multipaxos":
+        leader = store.cluster.leader.node_id
+        victim = [n for n in servers if n != leader][-1]
+    if name in ("timeline", "pileus"):
+        store.cluster.set_master("ck", servers[0])
+    store.crash(victim)
+    seen = {}
+
+    def script():
+        try:
+            yield session.put("ck", "after-crash", timeout=1_000.0)
+            yield 100.0
+            value, _token = yield session.get("ck", mode=mode,
+                                              timeout=1_000.0)
+            seen["value"] = value
+        except ReproError as exc:
+            seen["error"] = exc
+
+    run(sim, script())
+    if caps.survives_replica_crash:
+        assert "error" not in seen, seen
+        assert normalize(store, seen["value"]) == "after-crash"
+    else:
+        assert isinstance(seen.get("error"), ReproError)
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_history_or_driver_history(name):
+    """Stores either keep a checkable server-side history or declare
+    they do not (the driver's client-side history covers the rest)."""
+    sim = Simulator(seed=2)
+    store = build_store(name, sim)
+    if store.capabilities.has_history:
+        history = store.history()
+        assert len(history) == 0
+    else:
+        with pytest.raises(NotImplementedError):
+            store.history()

@@ -1,0 +1,127 @@
+"""Unit tests for the protocol-agnostic workload driver."""
+
+import pytest
+
+from repro import Network, Simulator
+from repro.api import registry
+from repro.sharding import ShardedStore
+from repro.sim import FixedLatency
+from repro.workload import (
+    OpSpec,
+    WorkloadDriver,
+    YCSBWorkload,
+    run_workload,
+)
+
+
+def build(protocol="quorum", seed=1, **kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=FixedLatency(2.0))
+    return sim, registry.build(protocol, sim, net, nodes=3, **kwargs)
+
+
+def test_lane_stats_and_history():
+    sim, store = build()
+    driver = WorkloadDriver(sim)
+    ops = [
+        OpSpec("insert", "a", 1),
+        OpSpec("sleep", "", 25.0),
+        OpSpec("update", "a", 2),
+        OpSpec("read", "a"),
+        OpSpec("read", "b"),
+    ]
+    stats = driver.add_session(store.session("s1"), ops, label="lane-1")
+    result = driver.run()
+
+    assert stats.name == "lane-1"
+    assert stats.ops == 4               # sleeps pace the lane, not ops
+    assert stats.ok == 4
+    assert stats.failed == 0
+    assert stats.writes == 2 and stats.reads == 2 and stats.rmw == 0
+    # sleeps produce no history events; reads+writes do.
+    assert len(result.history) == 4
+    assert result.read_latency.count == 2
+    assert result.write_latency.count == 2
+    assert result.duration >= 25.0
+    assert result.throughput > 0
+
+
+def test_rmw_composes_read_then_write():
+    sim, store = build(seed=4)
+    driver = WorkloadDriver(sim)
+    ops = [
+        OpSpec("insert", "counter", "1"),
+        OpSpec("sleep", "", 10.0),
+        OpSpec("rmw", "counter", "2"),
+        OpSpec("sleep", "", 10.0),
+        OpSpec("read", "counter"),
+    ]
+    captured = {}
+
+    def rmw(old, fresh):
+        captured["old"] = old
+        return f"{old}+{fresh}"
+
+    stats = driver.add_session(store.session(), ops, rmw_fn=rmw)
+    result = driver.run()
+
+    assert captured["old"] == "1"
+    assert stats.rmw == 1
+    # The rmw spec issued one read and one write on top of the
+    # explicit insert + read.
+    assert stats.reads == 2 and stats.writes == 2
+    final_reads = [op for op in result.history
+                   if op.kind == "read" and op.value == "1+2"]
+    assert final_reads
+
+
+def test_failures_are_recorded_not_raised():
+    sim, store = build(client_timeout=50.0)
+    session = store.session("cutoff")
+    store.network.partition([session.client_id])
+    driver = WorkloadDriver(sim)
+    stats = driver.add_session(
+        session,
+        [OpSpec("update", "k", 1), OpSpec("read", "k")],
+        timeout=50.0,
+    )
+    result = driver.run()
+    assert stats.failed == 2 and stats.ok == 0
+    assert result.ops_failed == 2
+    # Failed ops never contribute latency samples.
+    assert result.read_latency.count == 0
+    assert result.write_latency.count == 0
+
+
+def test_add_clients_shares_one_stream():
+    sim, store = build(seed=9)
+    driver = WorkloadDriver(sim)
+    workload = YCSBWorkload("C", records=50, seed=2).take(40)
+    lanes = driver.add_clients(store, clients=4, ops=workload)
+    result = driver.run()
+    assert len(lanes) == 4
+    # The 40-op stream is divided among the lanes, not duplicated.
+    assert sum(lane.ops for lane in lanes) == 40
+    assert result.ops_ok == 40
+    assert all(lane.ops > 0 for lane in lanes)
+
+
+def test_unknown_op_rejected():
+    sim, store = build()
+    driver = WorkloadDriver(sim)
+    driver.add_session(store.session(), [OpSpec("scan", "a", None)])
+    with pytest.raises(ValueError):
+        driver.run()
+
+
+def test_run_workload_against_sharded_store():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    store = ShardedStore(sim, net, protocol="quorum", shards=2,
+                         nodes_per_shard=3)
+    ops = [OpSpec("update", f"k{i}", i) for i in range(20)]
+    result = run_workload(store, ops, clients=2)
+    assert result.ops_ok == 20
+    routed = store.routed_ops()
+    assert sum(routed.values()) == 20
+    assert len(routed) == 2
