@@ -1,0 +1,34 @@
+"""CI guard: retry jitter must be a deterministic function of the seed.
+
+The RPC layer draws backoff jitter and hedge scheduling from the
+simulator's seeded RNG, so a fixed-seed run must replay the exact same
+event timeline.  This script runs the hedged E14 tail config twice and
+compares SHA-256 hashes of the full trace JSONL; any nondeterminism
+(an unseeded RNG, dict-order dependence, wall-clock leakage) shows up
+as a hash mismatch and a nonzero exit.
+
+Run from ``benchmarks/``:  ``PYTHONPATH=../src:. python determinism_check.py``
+"""
+
+import sys
+
+from test_e14_tail_tolerance import e14_trace_hash
+
+SEED = 7
+
+
+def main() -> int:
+    first = e14_trace_hash(seed=SEED)
+    second = e14_trace_hash(seed=SEED)
+    print(f"seed={SEED} run 1: {first}")
+    print(f"seed={SEED} run 2: {second}")
+    if first != second:
+        print("FAIL: fixed-seed trace hashes differ — the sim (or the "
+              "RPC layer's retry jitter) is nondeterministic")
+        return 1
+    print("OK: fixed-seed E14 trace is byte-identical across runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

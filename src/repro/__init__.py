@@ -51,6 +51,7 @@ from . import (
     errors,
     histories,
     replication,
+    rpc,
     sharding,
     sim,
     sla,
@@ -58,6 +59,7 @@ from . import (
     txn,
     workload,
 )
+from .rpc import RetryPolicy
 from .sim import Future, Network, Simulator, spawn
 
 __version__ = "1.0.0"
@@ -66,7 +68,9 @@ __all__ = [
     "Simulator",
     "Network",
     "Future",
+    "RetryPolicy",
     "spawn",
+    "rpc",
     "sim",
     "clocks",
     "storage",

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Hashable
 
 from ..client import timeline_session
+from ..rpc import RetryPolicy
 from ..replication import (
     BayouCluster,
     CausalCluster,
@@ -47,6 +48,14 @@ def _apply_service_time(nodes, service_time: float) -> None:
             node.service_time = service_time
 
 
+def _apply_retry(client, session_retry, store_retry) -> None:
+    """Attach the effective :class:`RetryPolicy` to a protocol client:
+    the session-level override wins over the store-wide default."""
+    policy = session_retry if session_retry is not None else store_retry
+    if policy is not None:
+        client.retry = policy
+
+
 def _norm_versioned(pair):
     """(value, int-version) -> (value, token) with 0 meaning 'nothing'."""
     value, version = pair
@@ -62,6 +71,8 @@ def _norm_versioned(pair):
     name="quorum",
     description="Dynamo partial quorums, LWW, read repair, sloppy option",
     read_modes=("quorum",),
+    failover_reads=True,
+    failover_writes=True,
 ))
 class QuorumStore(ConsistentStore):
     def __init__(
@@ -71,16 +82,24 @@ class QuorumStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
+        self.retry = retry
         self.cluster = DynamoCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
         _apply_service_time(self.cluster.nodes, service_time)
 
-    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+    def session(
+        self,
+        name: Hashable | None = None,
+        retry: RetryPolicy | None = None,
+        **opts: Any,
+    ) -> StoreSession:
         client = self.cluster.connect(session=name, **opts)
+        _apply_retry(client, retry, self.retry)
         return FnSession(
             client.session,
             put_fn=lambda k, v, t: client.put(k, v, timeout=t),
@@ -126,6 +145,8 @@ def _context_token(context: dict):
     read_modes=("quorum",),
     multi_value_reads=True,
     has_history=False,
+    failover_reads=True,
+    failover_writes=True,
 ))
 class SiblingQuorumStore(ConsistentStore):
     def __init__(
@@ -135,16 +156,24 @@ class SiblingQuorumStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
+        self.retry = retry
         self.cluster = SiblingDynamoCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
         _apply_service_time(self.cluster.nodes, service_time)
 
-    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+    def session(
+        self,
+        name: Hashable | None = None,
+        retry: RetryPolicy | None = None,
+        **opts: Any,
+    ) -> StoreSession:
         client = self.cluster.connect(session=name, **opts)
+        _apply_retry(client, retry, self.retry)
         return FnSession(
             client.session,
             put_fn=lambda k, v, t: mapped_future(
@@ -182,6 +211,8 @@ class SiblingQuorumStore(ConsistentStore):
     description="COPS-style causal broadcast KV; local reads/writes",
     read_modes=("local",),
     session_guarantees=("ryw", "mr", "mw", "wfr"),
+    failover_reads=True,
+    failover_writes=True,
 ))
 class CausalStore(ConsistentStore):
     def __init__(
@@ -191,9 +222,11 @@ class CausalStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
+        self.retry = retry
         self.cluster = CausalCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
@@ -204,6 +237,7 @@ class CausalStore(ConsistentStore):
         self,
         name: Hashable | None = None,
         home: Hashable | None = None,
+        retry: RetryPolicy | None = None,
         **opts: Any,
     ) -> StoreSession:
         if home is None:
@@ -211,6 +245,7 @@ class CausalStore(ConsistentStore):
             home = ids[self._next_home % len(ids)]
             self._next_home += 1
         client = self.cluster.connect(home=home, session=name, **opts)
+        _apply_retry(client, retry, self.retry)
         return FnSession(
             client.session,
             put_fn=lambda k, v, t: mapped_future(
@@ -251,6 +286,7 @@ class CausalStore(ConsistentStore):
     description="PNUTS per-record mastership; any/critical/latest reads",
     read_modes=("any", "critical", "latest"),
     session_guarantees=("ryw", "mr", "mw", "wfr"),
+    failover_reads=True,
 ))
 class TimelineStore(ConsistentStore):
     def __init__(
@@ -260,9 +296,11 @@ class TimelineStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
+        self.retry = retry
         self.cluster = TimelineCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
@@ -274,9 +312,11 @@ class TimelineStore(ConsistentStore):
         guarantees: tuple[str, ...] | None = None,
         retry_delay: float = 10.0,
         spread_replicas: bool = False,
+        retry: RetryPolicy | None = None,
         **opts: Any,
     ) -> StoreSession:
         client = self.cluster.connect(session=name, **opts)
+        _apply_retry(client, retry, self.retry)
         if guarantees is not None:
             wrapped = timeline_session(
                 client, guarantees=guarantees, retry_delay=retry_delay,
@@ -346,6 +386,8 @@ class TimelineStore(ConsistentStore):
     tentative_reads=True,
     networked=False,
     has_history=False,
+    retry_safe_reads=False,
+    retry_safe_writes=False,
 ))
 class BayouStore(ConsistentStore):
     def __init__(
@@ -355,6 +397,7 @@ class BayouStore(ConsistentStore):
         nodes: int = 4,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,  # noqa: ARG002 - direct-attach, no queue
+        retry: RetryPolicy | None = None,  # noqa: ARG002 - no RPC path
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
@@ -368,6 +411,7 @@ class BayouStore(ConsistentStore):
         self,
         name: Hashable | None = None,
         replica: Hashable | None = None,
+        retry: RetryPolicy | None = None,  # noqa: ARG002 - no RPC path
         **opts: Any,
     ) -> StoreSession:
         if replica is None:
@@ -428,6 +472,7 @@ class BayouStore(ConsistentStore):
     name="primary_backup",
     description="single primary, async/sync/quorum backup acks",
     read_modes=("primary", "backup"),
+    failover_reads=True,
 ))
 class PrimaryBackupStore(ConsistentStore):
     def __init__(
@@ -438,16 +483,24 @@ class PrimaryBackupStore(ConsistentStore):
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
         mode: str = "async",
+        retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
+        self.retry = retry
         self.cluster = PrimaryBackupCluster(
             sim, network, n=nodes, mode=mode, node_ids=node_ids, **kwargs
         )
         _apply_service_time(self.cluster.replicas, service_time)
 
-    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+    def session(
+        self,
+        name: Hashable | None = None,
+        retry: RetryPolicy | None = None,
+        **opts: Any,
+    ) -> StoreSession:
         client = self.cluster.connect(session=name, **opts)
+        _apply_retry(client, retry, self.retry)
 
         def read_backup(key, timeout):
             backups = self.cluster.backups
@@ -500,16 +553,24 @@ class ChainStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
+        self.retry = retry
         self.cluster = ChainCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
         _apply_service_time(self.cluster.replicas, service_time)
 
-    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+    def session(
+        self,
+        name: Hashable | None = None,
+        retry: RetryPolicy | None = None,
+        **opts: Any,
+    ) -> StoreSession:
         client = self.cluster.connect(session=name, **opts)
+        _apply_retry(client, retry, self.retry)
         return FnSession(
             client.session,
             put_fn=lambda k, v, t: client.put(k, v, timeout=t),
@@ -556,9 +617,11 @@ class MultiPaxosStore(ConsistentStore):
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
         elect: bool = True,
+        retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
+        self.retry = retry
         self.cluster = MultiPaxosCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
@@ -567,8 +630,14 @@ class MultiPaxosStore(ConsistentStore):
             self.cluster.elect()
             sim.run()
 
-    def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
+    def session(
+        self,
+        name: Hashable | None = None,
+        retry: RetryPolicy | None = None,
+        **opts: Any,
+    ) -> StoreSession:
         client = self.cluster.connect(session=name, **opts)
+        _apply_retry(client, retry, self.retry)
         return FnSession(
             client.session,
             put_fn=lambda k, v, t: client.put(k, v, timeout=t),
@@ -626,9 +695,11 @@ class PileusStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
+        self.retry = retry
         self.cluster = TimelineCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
@@ -639,9 +710,11 @@ class PileusStore(ConsistentStore):
         name: Hashable | None = None,
         sla: SLA = SHOPPING_CART,
         target: Hashable | None = None,
+        retry: RetryPolicy | None = None,
         **opts: Any,
     ) -> StoreSession:
         client = self.cluster.connect(session=name, **opts)
+        _apply_retry(client, retry, self.retry)
         if target is not None:
             sla_client = FixedTargetSLAClient(client, target)
         else:

@@ -44,8 +44,10 @@ class StoreSpec:
         Common kwargs every adapter accepts: ``nodes`` (cluster size),
         ``node_ids`` (explicit ids), ``service_time`` (per-node
         request-processing ms, see
-        :class:`repro.replication.common.ServerNode`).  Remaining
-        kwargs pass through to the underlying cluster class.
+        :class:`repro.replication.common.ServerNode`), and ``retry``
+        (a store-wide :class:`repro.rpc.RetryPolicy` applied to every
+        session; sessions can override with ``session(retry=...)``).
+        Remaining kwargs pass through to the underlying cluster class.
         """
         if network is None:
             network = Network(sim)

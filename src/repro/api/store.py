@@ -60,6 +60,20 @@ class StoreCapabilities:
     #: crashes (chain replication famously does not, without
     #: reconfiguration).
     survives_replica_crash: bool = True
+    #: Reads may be safely re-issued under a :class:`repro.rpc
+    #: .RetryPolicy` (reads are naturally idempotent for every
+    #: networked store).
+    retry_safe_reads: bool = True
+    #: Writes may be safely retried: the client attaches idempotency
+    #: keys, so a re-sent write is applied at most once per server.
+    retry_safe_writes: bool = True
+    #: Retried reads rotate to other replicas when the preferred
+    #: endpoint is down (False where one fixed node must serve the
+    #: mode's semantics, e.g. chain tails and Paxos leaders).
+    failover_reads: bool = False
+    #: Retried writes rotate to other replicas (only protocols where
+    #: any replica can coordinate or accept a write).
+    failover_writes: bool = False
 
     @property
     def default_read_mode(self) -> str:

@@ -230,11 +230,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )
     summary = message_summary(selected)
     if summary:
+        # One column per drop reason actually seen, so client-side
+        # hedge cancellations are not lumped in with network loss.
+        reasons = sorted({
+            reason
+            for row in summary.values()
+            for reason in row["drop_reasons"]
+        })
         print()
         print_table(
-            ["message type", "sent", "delivered", "dropped"],
+            ["message type", "sent", "delivered", "dropped", *reasons],
             [
                 [name, row["sent"], row["delivered"], row["dropped"]]
+                + [row["drop_reasons"].get(reason, 0) for reason in reasons]
                 for name, row in sorted(summary.items())
             ],
             title="per-message-type summary",

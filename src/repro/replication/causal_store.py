@@ -164,16 +164,24 @@ class CausalClient(ClientNode):
         inner.add_callback(done)
         return outer
 
+    def _endpoints(self) -> list:
+        """Failover order: the home replica, then every other replica —
+        any COPS replica accepts local reads and writes."""
+        return [self.home] + [
+            node for node in self.cluster.node_ids if node != self.home
+        ]
+
     def put(self, key: Hashable, value: Any, timeout: float | None = None) -> Future:
         """Local write; resolves with the write's arbitration rank."""
-        inner = self.request(self.home, CPutLocal(key, value), timeout)
+        inner = self.call(self._endpoints(), CPutLocal(key, value), timeout,
+                          idempotent=True)
         return self._recorded(
             "write", key, inner, lambda rank: (tuple(rank), value)
         )
 
     def get(self, key: Hashable, timeout: float | None = None) -> Future:
         """Local read; resolves with ``(value, rank-or-None)``."""
-        inner = self.request(self.home, CGetLocal(key), timeout)
+        inner = self.call(self._endpoints(), CGetLocal(key), timeout)
         return self._recorded(
             "read", key, inner,
             lambda reply: (

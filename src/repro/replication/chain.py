@@ -151,13 +151,16 @@ class ChainClient(ClientNode):
         return outer
 
     def put(self, key: Hashable, value: Any, timeout: float | None = None) -> Future:
+        # Chain roles are fixed (writes at head, reads at tail), so
+        # there are no failover endpoints — retries re-ask the same
+        # node, deduped by the idempotency key.
         head = self.cluster.head.node_id
-        inner = self.request(head, CPut(key, value), timeout)
+        inner = self.call(head, CPut(key, value), timeout, idempotent=True)
         return self._recorded("write", key, head, inner, lambda v: (v, value))
 
     def get(self, key: Hashable, timeout: float | None = None) -> Future:
         tail = self.cluster.tail.node_id
-        inner = self.request(tail, CGet(key), timeout)
+        inner = self.call(tail, CGet(key), timeout)
         return self._recorded("read", key, tail, inner, lambda v: (v[1], v[0]))
 
 

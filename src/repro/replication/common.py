@@ -8,27 +8,44 @@ through the same latency/partition model the replicas use — and gives
 every protocol the same failure surface (a request into a partitioned
 server simply times out).
 
+On top of the one-shot :meth:`ClientNode.request` primitive,
+:meth:`ClientNode.call` runs a :class:`repro.rpc.RetryPolicy`:
+sequential retries with jittered backoff, failover across an
+endpoint list, speculative hedged attempts, and an overall deadline.
+Protocol clients route their operations through ``call`` so every
+store gets the same resilience surface (and the same ``rpc.*``
+metrics) instead of re-inventing failure handling.
+
 Servers implement ``serve_<PayloadClassName>(src, payload) -> result``;
 returning a :class:`Future` defers the reply until the protocol round
 (quorum, acks, consensus) completes.  Raising inside ``serve_*`` or
 failing the future sends an error reply that fails the client future.
+Requests carrying an idempotency key are deduplicated server-side so
+a retried write is applied at most once per server (the replayed reply
+carries the original result).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from .. import errors
 from ..errors import ReproError, SimulationError
 from ..errors import TimeoutError as ReproTimeoutError
+from ..rpc import RetryPolicy, RpcCall, rpc_counters
 from ..sim import Future, Network, Node, Simulator
+from ..sim.trace import MSG_DROP
 
 
 @dataclass
 class Request:
     request_id: int
     payload: Any
+    #: When set, the server applies the payload at most once per key:
+    #: a retried request replays the cached reply instead of
+    #: re-executing the handler (see :class:`ServerNode`).
+    idempotency_key: Hashable | None = None
 
 
 @dataclass
@@ -60,35 +77,140 @@ class ClientNode(Node):
     def __init__(self, sim: Simulator, network: Network, node_id: Hashable):
         super().__init__(sim, network, node_id)
         self._next_request = 0
-        self._outstanding: dict[int, Future] = {}
+        self._next_idem = 0
+        # request_id -> (future, timeout timer or None)
+        self._outstanding: dict[int, tuple[Future, Any]] = {}
+        #: Default policy applied by :meth:`call` when none is passed
+        #: explicitly (set by the store adapters' ``retry=`` option).
+        self.retry: RetryPolicy | None = None
+        self._rpc_counters = rpc_counters(sim.metrics)
 
+    # ------------------------------------------------------------------
+    # One-shot primitive
+    # ------------------------------------------------------------------
     def request(
-        self, dst: Hashable, payload: Any, timeout: float | None = None
+        self,
+        dst: Hashable,
+        payload: Any,
+        timeout: float | None = None,
+        idempotency_key: Hashable | None = None,
     ) -> Future:
         """Send ``payload`` to ``dst``; the future resolves with the
         reply payload (or fails with the server's error / a timeout)."""
+        _request_id, future = self._issue(
+            dst, payload, timeout, idempotency_key
+        )
+        return future
+
+    def _issue(
+        self,
+        dst: Hashable,
+        payload: Any,
+        timeout: float | None = None,
+        idempotency_key: Hashable | None = None,
+    ) -> tuple[int, Future]:
         self._next_request += 1
         request_id = self._next_request
         future = Future(self.sim, label=f"req#{request_id}->{dst}")
-        self._outstanding[request_id] = future
-        self.send(dst, Request(request_id, payload))
-        if timeout is not None:
+        self.send(dst, Request(request_id, payload, idempotency_key))
+        timer = (
             self.set_timer(timeout, self._timeout, request_id)
-        return future
+            if timeout is not None else None
+        )
+        self._outstanding[request_id] = (future, timer)
+        return request_id, future
 
     def _timeout(self, request_id: int) -> None:
-        future = self._outstanding.pop(request_id, None)
-        if future is not None and not future.done:
+        entry = self._outstanding.pop(request_id, None)
+        if entry is None:
+            return
+        future, _timer = entry
+        if not future.done:
             future.fail(ReproTimeoutError(f"request #{request_id} timed out"))
 
+    def _abandon(
+        self, request_id: int, dst: Hashable, reason: str = "cancelled"
+    ) -> None:
+        """Stop waiting for a request without failing its future (the
+        losing attempt of a hedged call).  The eventual reply, if any,
+        is ignored on arrival; the trace records the abandonment as a
+        drop so hedging shows up in message summaries."""
+        entry = self._outstanding.pop(request_id, None)
+        if entry is None:
+            return
+        _future, timer = entry
+        if timer is not None:
+            timer.cancel()
+        if self.sim.trace.enabled:
+            self.sim.trace.record(
+                self.sim.now, MSG_DROP, reason=reason,
+                src=dst, dst=self.node_id, msg_type=Reply.__name__,
+            )
+
     def handle_Reply(self, src: Hashable, msg: Reply) -> None:
-        future = self._outstanding.pop(msg.request_id, None)
-        if future is None or future.done:
-            return  # late reply after timeout
+        entry = self._outstanding.pop(msg.request_id, None)
+        if entry is None:
+            return  # late reply after timeout or abandonment
+        future, timer = entry
+        if timer is not None:
+            # The reply settled the request early: retire the timeout
+            # timer instead of letting a dead event fire later.
+            timer.cancel()
+        if future.done:
+            return
         if msg.error is not None:
             future.fail(_rebuild_error(msg))
         else:
             future.resolve(msg.payload)
+
+    # ------------------------------------------------------------------
+    # Policy-driven calls
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        dst: Hashable | list | tuple,
+        payload: Any,
+        timeout: float | None = None,
+        policy: RetryPolicy | None = None,
+        idempotent: bool = False,
+    ) -> Future:
+        """Issue ``payload`` under a retry policy.
+
+        ``dst`` is one endpoint or a failover-ordered list (preferred
+        endpoint first).  The effective policy is ``policy`` or
+        :attr:`retry`; with neither, this is exactly :meth:`request`
+        against the preferred endpoint — one attempt, one optional
+        timeout.  Under a policy, ``timeout`` acts as the overall
+        deadline when the policy does not set its own.
+
+        ``idempotent=True`` attaches a fresh idempotency key so
+        server-side dedup makes retried writes apply at most once per
+        server.
+        """
+        endpoints = list(dst) if isinstance(dst, (list, tuple)) else [dst]
+        policy = policy if policy is not None else self.retry
+        if policy is None:
+            return self.request(endpoints[0], payload, timeout)
+        key = None
+        if idempotent:
+            self._next_idem += 1
+            key = (self.node_id, self._next_idem)
+        return RpcCall(
+            self, endpoints, payload, policy,
+            timeout=timeout, idempotency_key=key,
+        ).future
+
+
+@dataclass
+class _DedupEntry:
+    """Server-side record of one idempotent request.
+
+    Pending entries (handler still running) collect the retries'
+    reply addresses; completed entries replay the cached result."""
+
+    done: bool = False
+    value: Any = None
+    waiters: list = field(default_factory=list)   # (src, request_id)
 
 
 class ServerNode(Node):
@@ -105,16 +227,44 @@ class ServerNode(Node):
     horizontal scaling (:mod:`repro.sharding`) measurable — without
     it every node has infinite capacity and sharding cannot help
     throughput.
+
+    Requests carrying an idempotency key are deduplicated: the first
+    copy runs the handler, concurrent copies attach to its outcome,
+    and later copies replay the cached reply — at-most-once
+    application per server.  Successful results survive a crash
+    (modelling a persisted dedup table); in-flight entries die with
+    the node so a post-recovery retry re-executes, and failed
+    operations are forgotten so retrying them is meaningful.
     """
 
     #: Per-request processing time in ms; 0 disables queueing entirely.
     service_time: float = 0.0
+    #: Cap on remembered idempotent results (oldest evicted first).
+    dedup_capacity: int = 1024
 
     def __init__(self, sim, network, node_id: Hashable) -> None:
         super().__init__(sim, network, node_id)
         self._busy_until = 0.0
+        self._dedup: dict[Hashable, _DedupEntry] = {}
+        self._dedup_hits = sim.metrics.counter("rpc.dedup_hits")
 
     def handle_Request(self, src: Hashable, msg: Request) -> None:
+        key = msg.idempotency_key
+        if key is not None:
+            entry = self._dedup.get(key)
+            if entry is not None:
+                self._dedup_hits.inc()
+                if entry.done:
+                    self.send(src, Reply(msg.request_id, entry.value))
+                else:
+                    entry.waiters.append((src, msg.request_id))
+                return
+            # Record the entry at admission, not at dispatch: a retry
+            # arriving while the original sits in the service queue
+            # must not be queued (and executed) a second time.
+            entry = _DedupEntry(waiters=[(src, msg.request_id)])
+            self._dedup[key] = entry
+            self._trim_dedup()
         if self.service_time <= 0:
             self._dispatch_request(src, msg)
             return
@@ -130,15 +280,29 @@ class ServerNode(Node):
                 f"{type(self).__name__} {self.node_id!r} cannot serve "
                 f"{type(msg.payload).__name__}"
             )
+        key = msg.idempotency_key
+        entry = self._dedup.get(key) if key is not None else None
         try:
             result = handler(src, msg.payload)
         except ReproError as exc:
-            self.send(src, _error_reply(msg.request_id, exc))
+            if entry is not None:
+                self._fail_idempotent(key, entry, exc)
+            else:
+                self.send(src, _error_reply(msg.request_id, exc))
             return
         if isinstance(result, Future):
-            result.add_callback(
-                lambda future: self._reply_from_future(src, msg.request_id, future)
-            )
+            if entry is not None:
+                result.add_callback(
+                    lambda future: self._settle_idempotent(key, entry, future)
+                )
+            else:
+                result.add_callback(
+                    lambda future: self._reply_from_future(
+                        src, msg.request_id, future
+                    )
+                )
+        elif entry is not None:
+            self._complete_idempotent(entry, result)
         else:
             self.send(src, Reply(msg.request_id, result))
 
@@ -151,3 +315,67 @@ class ServerNode(Node):
             self.send(src, _error_reply(request_id, future.error))
         else:
             self.send(src, Reply(request_id, future.value))
+
+    # ------------------------------------------------------------------
+    # Idempotent-request bookkeeping
+    # ------------------------------------------------------------------
+    def _complete_idempotent(self, entry: _DedupEntry, value: Any) -> None:
+        entry.done = True
+        entry.value = value
+        waiters, entry.waiters = entry.waiters, []
+        for src, request_id in waiters:
+            self.send(src, Reply(request_id, value))
+
+    def _fail_idempotent(
+        self, key: Hashable, entry: _DedupEntry, exc: BaseException
+    ) -> None:
+        # A failed operation was not applied; forget it so a retry
+        # re-executes instead of replaying the failure forever.
+        if self._dedup.get(key) is entry:
+            del self._dedup[key]
+        for src, request_id in entry.waiters:
+            self.send(src, _error_reply(request_id, exc))
+
+    def _settle_idempotent(
+        self, key: Hashable, entry: _DedupEntry, future: Future
+    ) -> None:
+        if self.crashed:
+            return
+        if self._dedup.get(key) is not entry:
+            return  # a crash dropped the entry while the op ran
+        if future.error is not None:
+            self._fail_idempotent(key, entry, future.error)
+        else:
+            self._complete_idempotent(entry, future.value)
+
+    def _trim_dedup(self) -> None:
+        while len(self._dedup) > self.dedup_capacity:
+            for key, entry in self._dedup.items():
+                if entry.done:
+                    del self._dedup[key]
+                    break
+            else:
+                break  # everything in flight; nothing safe to evict
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        if self.crashed:
+            return
+        super().crash()
+        # The service queue died with the node (its dispatch timers
+        # were cancelled); the pre-crash backlog must not push
+        # _busy_until into the recovered node's future.
+        self._busy_until = 0.0
+        # In-flight idempotent ops died un-applied: drop their entries
+        # so a post-recovery retry re-executes.  Completed results are
+        # kept (a persisted dedup table).
+        for key in [k for k, e in self._dedup.items() if not e.done]:
+            del self._dedup[key]
+
+    def recover(self) -> None:
+        if not self.crashed:
+            return
+        self._busy_until = 0.0
+        super().recover()

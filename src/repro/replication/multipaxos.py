@@ -335,8 +335,11 @@ class PaxosClient(ClientNode):
         self, key: Hashable, value: Any, timeout: float | None = None
     ) -> Future:
         """Replicated write; resolves with the new version."""
+        # Commands must go through the leader; a retried submit dedups
+        # there so a slow commit is not proposed twice.
         leader = self.cluster.leader.node_id
-        inner = self.request(leader, SubmitCmd(PutCmd(key, value)), timeout)
+        inner = self.call(leader, SubmitCmd(PutCmd(key, value)), timeout,
+                          idempotent=True)
         return self._recorded(
             "write", key, leader, inner, lambda v: (v, value)
         )
@@ -344,7 +347,7 @@ class PaxosClient(ClientNode):
     def get(self, key: Hashable, timeout: float | None = None) -> Future:
         """Linearizable read through the log; resolves (value, version)."""
         leader = self.cluster.leader.node_id
-        inner = self.request(leader, SubmitCmd(GetCmd(key)), timeout)
+        inner = self.call(leader, SubmitCmd(GetCmd(key)), timeout)
         return self._recorded(
             "read", key, leader, inner, lambda v: (v[1], v[0])
         )
@@ -357,7 +360,10 @@ class PaxosClient(ClientNode):
     ) -> Future:
         """Possibly stale read from one replica's state machine."""
         target = (replica or self.cluster.leader).node_id
-        inner = self.request(target, LocalRead(key), timeout)
+        endpoints = [target] + [
+            node for node in self.cluster.node_ids if node != target
+        ]
+        inner = self.call(endpoints, LocalRead(key), timeout)
         return self._recorded(
             "read", key, target, inner, lambda v: (v[1], v[0])
         )

@@ -153,7 +153,10 @@ class PBClient(ClientNode):
         recorder = self.cluster.recorder
         primary = self.cluster.primary
         handle = recorder.begin("write", key, self.session, primary.node_id)
-        inner = self.request(primary.node_id, PutPayload(key, value), timeout)
+        # Writes only the primary can accept: no failover endpoints,
+        # but retried writes dedup at the primary.
+        inner = self.call(primary.node_id, PutPayload(key, value), timeout,
+                          idempotent=True)
         outer = Future(self.sim, label=f"put({key!r})")
 
         def done(future: Future) -> None:
@@ -178,7 +181,12 @@ class PBClient(ClientNode):
         target = replica or self.cluster.primary
         recorder = self.cluster.recorder
         handle = recorder.begin("read", key, self.session, target.node_id)
-        inner = self.request(target.node_id, GetPayload(key), timeout)
+        # Reads fail over across the replica set (trading freshness
+        # for availability, the EC bargain); writes do not.
+        endpoints = [target.node_id] + [
+            r.node_id for r in self.cluster.replicas if r is not target
+        ]
+        inner = self.call(endpoints, GetPayload(key), timeout)
         outer = Future(self.sim, label=f"get({key!r})")
 
         def done(future: Future) -> None:

@@ -366,16 +366,24 @@ class DynamoClient(ClientNode):
         nodes = self.cluster.ring.nodes
         return nodes[self.sim.rng.randrange(len(nodes))]
 
+    def _endpoints(self, coordinator: Hashable) -> list:
+        """Failover order: the chosen coordinator, then the rest of the
+        ring — any node can coordinate a Dynamo operation."""
+        return [coordinator] + [
+            node for node in self.cluster.ring.nodes if node != coordinator
+        ]
+
     def put(
         self, key: Hashable, value: Any, timeout: float | None = None
     ) -> Future:
         """Resolves with the write's arbitration stamp."""
         coordinator = self._coordinator_for(key)
         start = self.sim.now
-        inner = self.request(
-            coordinator,
+        inner = self.call(
+            self._endpoints(coordinator),
             QPut(key, value, context=self.context),
             timeout or self.cluster.client_timeout,
+            idempotent=True,
         )
         outer = Future(self.sim, label=f"dput({key!r})")
 
@@ -403,8 +411,9 @@ class DynamoClient(ClientNode):
         """Resolves with ``(value, stamp)``."""
         coordinator = self._coordinator_for(key)
         start = self.sim.now
-        inner = self.request(
-            coordinator, QGet(key), timeout or self.cluster.client_timeout
+        inner = self.call(
+            self._endpoints(coordinator), QGet(key),
+            timeout or self.cluster.client_timeout,
         )
         outer = Future(self.sim, label=f"dget({key!r})")
 

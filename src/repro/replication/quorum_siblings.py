@@ -320,6 +320,11 @@ class SiblingDynamoClient(ClientNode):
             return self.coordinator
         return self.cluster.ring.coordinator(key)
 
+    def _endpoints(self, coordinator: Hashable) -> list:
+        return [coordinator] + [
+            node for node in self.cluster.ring.nodes if node != coordinator
+        ]
+
     def put(
         self,
         key: Hashable,
@@ -330,10 +335,11 @@ class SiblingDynamoClient(ClientNode):
         """Write; supersedes exactly the siblings covered by the
         context (defaults to what this client last read/wrote)."""
         effective = context if context is not None else self.contexts.get(key, {})
-        inner = self.request(
-            self._coordinator_for(key),
+        inner = self.call(
+            self._endpoints(self._coordinator_for(key)),
             SibPut(key, value, dict(effective)),
             timeout or self.cluster.client_timeout,
+            idempotent=True,
         )
         outer = Future(self.sim, label=f"sibput({key!r})")
 
@@ -349,8 +355,8 @@ class SiblingDynamoClient(ClientNode):
 
     def get(self, key: Hashable, timeout: float | None = None) -> Future:
         """Read; resolves ``(sibling_values, context)``."""
-        inner = self.request(
-            self._coordinator_for(key), SibGet(key),
+        inner = self.call(
+            self._endpoints(self._coordinator_for(key)), SibGet(key),
             timeout or self.cluster.client_timeout,
         )
         outer = Future(self.sim, label=f"sibget({key!r})")

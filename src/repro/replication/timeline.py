@@ -172,6 +172,15 @@ class TimelineClient(ClientNode):
         nodes = self.cluster.node_ids
         return nodes[self.sim.rng.randrange(len(nodes))]
 
+    def _read_endpoints(self, target: Hashable) -> list:
+        """Failover order for any/critical reads: the preferred replica,
+        then the rest — every replica serves timeline reads (critical
+        reads block at the floor wherever they land).  ``read_latest``
+        is pinned to the master and does not fail over."""
+        return [target] + [
+            node for node in self.cluster.node_ids if node != target
+        ]
+
     def _recorded(self, kind, key, target, inner, extract):
         recorder = self.cluster.recorder
         handle = recorder.begin(kind, key, self.session, target)
@@ -192,7 +201,11 @@ class TimelineClient(ClientNode):
     def write(self, key: Hashable, value: Any, timeout: float | None = None) -> Future:
         """Resolves with the new version (master-assigned seqno)."""
         master = self.cluster.master_of(key)
-        inner = self.request(master, TWrite(key, value), timeout)
+        # Writes are mastered: there is no useful failover target (a
+        # non-master would only forward back to the same master), but
+        # retries still dedup server-side via the idempotency key.
+        inner = self.call(master, TWrite(key, value), timeout,
+                          idempotent=True)
         outer = self._recorded("write", key, master, inner, lambda v: (v, value))
 
         def bump_floor(future: Future) -> None:
@@ -205,7 +218,7 @@ class TimelineClient(ClientNode):
     def read_any(self, key: Hashable, timeout: float | None = None) -> Future:
         """Fast read from the home replica; may be stale."""
         target = self._reader(key)
-        inner = self.request(target, TReadAny(key), timeout)
+        inner = self.call(self._read_endpoints(target), TReadAny(key), timeout)
         return self._recorded("read", key, target, inner, lambda v: (v[1], v[0]))
 
     def read_critical(
@@ -220,7 +233,8 @@ class TimelineClient(ClientNode):
             else self.floors.get(key, 0)
         )
         target = self._reader(key)
-        inner = self.request(target, TReadCritical(key, floor), timeout)
+        inner = self.call(self._read_endpoints(target),
+                          TReadCritical(key, floor), timeout)
         outer = self._recorded("read", key, target, inner, lambda v: (v[1], v[0]))
 
         def bump_floor(future: Future) -> None:
@@ -233,7 +247,7 @@ class TimelineClient(ClientNode):
     def read_latest(self, key: Hashable, timeout: float | None = None) -> Future:
         """Read from the record master (up-to-date)."""
         master = self.cluster.master_of(key)
-        inner = self.request(master, TReadAny(key), timeout)
+        inner = self.call(master, TReadAny(key), timeout)
         return self._recorded("read", key, master, inner, lambda v: (v[1], v[0]))
 
 

@@ -1,0 +1,30 @@
+"""Resilient RPC: retry policies, failover, hedging, idempotency.
+
+The tutorial's availability claims for eventually consistent stores
+(PAPER.md, E5) rest on *client-side redundancy*: a Dynamo-lineage
+client retries, fails over to another replica, and hedges slow
+requests, so the store keeps serving while a strongly consistent store
+blocks.  This package is that machinery, shared by every protocol
+client instead of re-invented (or skipped) per protocol:
+
+* :class:`RetryPolicy` — declarative policy: attempt budget,
+  per-attempt timeout, overall deadline, exponential backoff with
+  seeded-RNG jitter, endpoint failover, and optional hedged requests.
+* :class:`RpcCall` — the engine driving one logical call under a
+  policy (used via :meth:`repro.replication.common.ClientNode.call`).
+
+All timing randomness (backoff jitter) is drawn from the simulator's
+seeded RNG, so retried and hedged runs stay byte-for-byte
+deterministic — the property the CI determinism job asserts.
+"""
+
+from .call import RPC_COUNTERS, RpcCall, rpc_counters
+from .policy import DEFAULT_RETRYABLE, RetryPolicy
+
+__all__ = [
+    "RetryPolicy",
+    "RpcCall",
+    "DEFAULT_RETRYABLE",
+    "RPC_COUNTERS",
+    "rpc_counters",
+]

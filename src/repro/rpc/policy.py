@@ -1,0 +1,107 @@
+"""Retry policies: the declarative half of the RPC layer.
+
+A :class:`RetryPolicy` says *when* a call may be re-issued — how many
+sequential attempts, how long each may run, how long the whole call
+may run, how retries back off, whether retries rotate across failover
+endpoints, and whether a speculative hedge is launched while the
+first attempt is still pending.  The engine that executes a policy
+lives in :mod:`repro.rpc.call`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import TimeoutError as ReproTimeoutError
+from ..errors import UnavailableError
+
+#: Errors a retry can plausibly fix: the request (or its reply) was
+#: lost in transit, or the serving node could not assemble enough
+#: replicas.  Semantic failures (``NotLeaderError`` at a fixed
+#: endpoint, validation errors) are not retried unless a policy
+#: explicitly opts in via ``retry_on``.
+DEFAULT_RETRYABLE: tuple[type, ...] = (ReproTimeoutError, UnavailableError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How one logical RPC may be re-issued.
+
+    Parameters
+    ----------
+    max_attempts:
+        Sequential attempt budget (1 = no retries).  Hedges are
+        speculative duplicates and draw from ``max_hedges`` instead.
+    request_timeout:
+        Per-attempt timeout in ms (clipped to the remaining deadline).
+    deadline:
+        Overall budget in ms for the whole call, across all attempts
+        and backoff waits.  When ``None``, the ``timeout`` argument of
+        :meth:`ClientNode.call` acts as the deadline, so existing
+        ``timeout=`` plumbing (the workload driver, session options)
+        bounds the retrying call end-to-end.
+    backoff_base / backoff_factor / backoff_max:
+        Retry ``i`` (0-based) waits ``min(backoff_max,
+        backoff_base * backoff_factor**i)`` ms before re-issuing.
+    jitter:
+        Multiplies each backoff by ``1 + jitter * rng.random()`` using
+        the *simulator's* seeded RNG — randomized spacing that is still
+        a deterministic function of the sim seed.
+    failover:
+        Rotate retries (and hedges) across the call's endpoint list
+        instead of hammering the preferred endpoint.
+    hedge_after:
+        When set, launch a speculative duplicate attempt after this
+        many ms without a response (pick it near the expected p9x
+        latency).  First response wins; the loser is abandoned and
+        shows up in traces as a ``hedge_cancel`` drop.
+    max_hedges:
+        Hedge budget for the whole call.
+    retry_on:
+        Exception classes worth retrying; anything else fails fast.
+    """
+
+    max_attempts: int = 3
+    request_timeout: float | None = 200.0
+    deadline: float | None = None
+    backoff_base: float = 10.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 2_000.0
+    jitter: float = 0.5
+    failover: bool = True
+    hedge_after: float | None = None
+    max_hedges: int = 1
+    retry_on: tuple[type, ...] = field(default=DEFAULT_RETRYABLE)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "retry_on", tuple(self.retry_on))
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.backoff_base < 0 or self.backoff_factor < 0:
+            raise ValueError("backoff parameters must be non-negative")
+        if self.backoff_max < 0:
+            raise ValueError("backoff_max must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if self.hedge_after is not None and self.hedge_after < 0:
+            raise ValueError("hedge_after must be non-negative")
+        if self.max_hedges < 0:
+            raise ValueError("max_hedges must be non-negative")
+
+    def backoff(self, retry_index: int, rng: random.Random) -> float:
+        """Delay in ms before retry ``retry_index`` (0-based)."""
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** retry_index,
+        )
+        if self.jitter > 0:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retry_on)

@@ -128,6 +128,10 @@ class ShardedStore(ConsistentStore):
             networked=spec.capabilities.networked,
             has_history=spec.capabilities.has_history,
             survives_replica_crash=spec.capabilities.survives_replica_crash,
+            retry_safe_reads=spec.capabilities.retry_safe_reads,
+            retry_safe_writes=spec.capabilities.retry_safe_writes,
+            failover_reads=spec.capabilities.failover_reads,
+            failover_writes=spec.capabilities.failover_writes,
         )
         metrics = sim.metrics
         self._ops_routed = metrics.counter("shard.ops_routed")

@@ -196,14 +196,21 @@ def filter_events(
 
 
 def message_summary(events: Iterable[TraceEvent]) -> dict[str, dict[str, int]]:
-    """``{message type: {"sent": n, "delivered": n, "dropped": n}}``."""
+    """``{message type: {"sent": n, "delivered": n, "dropped": n,
+    "drop_reasons": {reason: n}}}``.
+
+    ``drop_reasons`` separates the network's drops (``loss``,
+    ``partition``, ``crash``) from client-side abandonment
+    (``hedge_cancel`` — the losing attempt of a hedged call, whose
+    reply may in fact still be delivered and ignored)."""
     summary: dict[str, dict[str, int]] = {}
     for event in events:
         if event.kind not in _MESSAGE_KINDS:
             continue
         msg_type = str(event.data.get("msg_type", "?"))
         row = summary.setdefault(
-            msg_type, {"sent": 0, "delivered": 0, "dropped": 0}
+            msg_type,
+            {"sent": 0, "delivered": 0, "dropped": 0, "drop_reasons": {}},
         )
         if event.kind == MSG_SEND:
             row["sent"] += 1
@@ -211,6 +218,9 @@ def message_summary(events: Iterable[TraceEvent]) -> dict[str, dict[str, int]]:
             row["delivered"] += 1
         else:
             row["dropped"] += 1
+            reason = str(event.data.get("reason", "?"))
+            reasons = row["drop_reasons"]
+            reasons[reason] = reasons.get(reason, 0) + 1
     return summary
 
 

@@ -259,7 +259,7 @@ class SLAClient:
             from ..replication.timeline import TReadAny
 
             try:
-                value, version = yield self.client.request(
+                value, version = yield self.client.call(
                     target, TReadAny(key), timeout
                 )
             except ReproError as exc:

@@ -157,15 +157,22 @@ class WorkloadDriver:
         clients: int,
         ops: Iterable[OpSpec],
         session_opts: dict | None = None,
+        retry: Any = None,
         **lane_opts: Any,
     ) -> list[LaneStats]:
         """Fan one shared op stream across ``clients`` fresh sessions
-        (the YCSB closed-loop client pool)."""
+        (the YCSB closed-loop client pool).
+
+        ``retry`` attaches a :class:`repro.rpc.RetryPolicy` to every
+        session it opens; the lanes' ``timeout`` then bounds each op's
+        retrying call end-to-end (the policy's deadline).
+        """
+        opts = dict(session_opts or {})
+        if retry is not None:
+            opts["retry"] = retry
         shared = iter(ops)
         return [
-            self.add_session(
-                store.session(**(session_opts or {})), shared, **lane_opts
-            )
+            self.add_session(store.session(**opts), shared, **lane_opts)
             for _ in range(clients)
         ]
 
@@ -288,11 +295,13 @@ def run_workload(
     session_opts: dict | None = None,
     recorder: TokenHistoryRecorder | None = None,
     until: float | None = None,
+    retry: Any = None,
     **lane_opts: Any,
 ) -> DriverResult:
     """One-call convenience: drive ``ops`` against ``store`` and return
-    the :class:`DriverResult`."""
+    the :class:`DriverResult`.  ``retry`` applies one
+    :class:`repro.rpc.RetryPolicy` across the whole client pool."""
     driver = WorkloadDriver(store.sim, recorder=recorder)
     driver.add_clients(store, clients, ops, session_opts=session_opts,
-                       **lane_opts)
+                       retry=retry, **lane_opts)
     return driver.run(until)

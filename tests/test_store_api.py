@@ -10,7 +10,7 @@ exactly when the adapter's capabilities say so.
 
 import pytest
 
-from repro import Network, Simulator, spawn
+from repro import Network, RetryPolicy, Simulator, spawn
 from repro.api import ConsistentStore, registry
 from repro.errors import ReproError
 from repro.errors import TimeoutError as ReproTimeoutError
@@ -201,6 +201,133 @@ def test_non_coordinator_replica_crash(name):
         assert normalize(store, seen["value"]) == "after-crash"
     else:
         assert isinstance(seen.get("error"), ReproError)
+
+
+#: Who to crash in the failover test: the session's preferred endpoint
+#: for both reads and writes.  ``0`` = the pinned first server, ``-1``
+#: = the chain tail, ``"leader"`` = the elected paxos leader.
+FAILOVER_VICTIM = {
+    "quorum": 0,
+    "quorum_siblings": 0,
+    "causal": 0,
+    "timeline": 0,
+    "primary_backup": 0,      # primary: reads fail over, writes cannot
+    "chain": -1,              # tail: fixed read/ack role, no failover
+    "multipaxos": "leader",
+    "pileus": 0,
+}
+
+
+def _pin_session(name, store, servers):
+    """Session options binding the session to ``servers[0]`` wherever
+    the adapter allows, plus per-key mastership where it applies."""
+    opts = dict(TUNING[name].get("session", {}))
+    if name in ("quorum", "quorum_siblings"):
+        opts["coordinator"] = servers[0]
+    if name in ("causal", "timeline"):
+        opts["home"] = servers[0]
+    if name == "pileus":
+        opts.update(home=servers[0], target=servers[0])
+    if name in ("timeline", "pileus"):
+        store.cluster.set_master("ck", servers[0])
+    return opts
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_retry_failover_on_coordinator_crash(name):
+    """Crash the session's preferred endpoint under a retry policy:
+    ops must keep succeeding exactly where the capabilities claim
+    failover, and fail cleanly where they do not."""
+    sim = Simulator(seed=17)
+    policy = RetryPolicy(max_attempts=3, request_timeout=40.0,
+                         backoff_base=5.0, jitter=0.0)
+    store = build_store(name, sim, retry=policy)
+    caps = store.capabilities
+    if not caps.networked:
+        pytest.skip("direct-attach store: no RPC path to retry")
+    servers = store.server_ids()
+    session = store.session("failover", **_pin_session(name, store, servers))
+    # Timeline reads must not pin to the master for failover to apply.
+    mode = "any" if name == "timeline" else TUNING[name].get("read_mode")
+    victim = FAILOVER_VICTIM[name]
+    victim = (store.cluster.leader.node_id if victim == "leader"
+              else servers[victim])
+    seen = {}
+
+    def script():
+        # Phase 1: a clean write while everything is up.
+        yield session.put("ck", "v0", timeout=1_000.0)
+        yield 100.0  # let replication fan out
+        store.crash(victim)
+        try:
+            value, _token = yield session.get("ck", mode=mode, timeout=300.0)
+            seen["read"] = value
+        except ReproError as exc:
+            seen["read_error"] = exc
+        try:
+            yield session.put("ck", "v1", timeout=300.0)
+            seen["write"] = True
+        except ReproError as exc:
+            seen["write_error"] = exc
+
+    run(sim, script())
+    if caps.failover_reads:
+        assert normalize(store, seen["read"]) == "v0", seen
+    else:
+        assert isinstance(seen.get("read_error"), ReproError), seen
+    if caps.failover_writes:
+        assert "write" in seen, seen
+    else:
+        assert isinstance(seen.get("write_error"), ReproError), seen
+    failovers = sim.metrics.counter("rpc.failovers").value
+    if caps.failover_reads or caps.failover_writes:
+        assert failovers > 0
+    else:
+        assert failovers == 0
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_idempotent_retry_applies_once(name):
+    """Lose the first reply (client partitioned after the request got
+    through), let the retry hit the same server: the write must apply
+    exactly once, the retry replaying the original result."""
+    sim = Simulator(seed=23)
+    # failover=False pins retries to the server that already applied
+    # the write — dedup is a per-server guarantee.
+    policy = RetryPolicy(max_attempts=3, request_timeout=20.0,
+                         backoff_base=15.0, jitter=0.0, failover=False)
+    store = build_store(name, sim, retry=policy)
+    caps = store.capabilities
+    if not caps.networked:
+        pytest.skip("direct-attach store: no RPC path to retry")
+    if not caps.retry_safe_writes:
+        pytest.skip("adapter declares writes unsafe to retry")
+    servers = store.server_ids()
+    session = store.session("once", **_pin_session(name, store, servers))
+    mode = TUNING[name].get("read_mode")
+    pause = TUNING[name].get("pause", 100.0)
+    # The put's request is on the wire at t=0 and in-flight messages
+    # survive a partition (drops are decided at send time), so cutting
+    # the client off at t=1 loses only the reply — sent at t>=2.  Heal
+    # before the second retry (t=35) reaches the server's dedup table.
+    sim.schedule(1.0, store.network.partition, [session.client_id])
+    sim.schedule(30.0, store.network.heal)
+    seen = {}
+
+    def script():
+        token = yield session.put("ck", "exactly-once", timeout=500.0)
+        seen["put_token"] = token
+        yield pause
+        value, token = yield session.get("ck", mode=mode, timeout=500.0)
+        seen.update(value=value, read_token=token)
+
+    run(sim, script())
+    assert normalize(store, seen["value"]) == "exactly-once"
+    assert sim.metrics.counter("rpc.dedup_hits").value >= 1
+    # A double-applied write would have minted a second version; the
+    # replayed token must be the one the read observes.
+    if TUNING[name].get("read_token", True):
+        assert seen["read_token"] == seen["put_token"]
 
 
 @pytest.mark.parametrize("name", ALL_PROTOCOLS)

@@ -133,8 +133,13 @@ def test_message_summary_counts_by_type():
     net.send("a", "b", 42)
     sim.run()
     summary = tracer.message_summary()
-    assert summary["str"] == {"sent": 2, "delivered": 2, "dropped": 0}
-    assert summary["int"] == {"sent": 1, "delivered": 0, "dropped": 1}
+    assert summary["str"] == {
+        "sent": 2, "delivered": 2, "dropped": 0, "drop_reasons": {},
+    }
+    assert summary["int"] == {
+        "sent": 1, "delivered": 0, "dropped": 1,
+        "drop_reasons": {"crash": 1},
+    }
 
 
 def test_capacity_caps_retention():
