@@ -9,6 +9,7 @@ Commands
 ``spectrum``            print the E1-style consistency spectrum table
                         (built through the registry + workload driver)
 ``trace <file.jsonl>``  print a filtered timeline + summary of a sim trace
+``bench``               run the seeded macro perf suite (BENCH_CORE.json)
 ``selftest``            import every module and run a smoke simulation
 
 The heavyweight experiment tables live in ``benchmarks/`` (run with
@@ -250,6 +251,52 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the macro perf scenarios; optionally write BENCH_CORE.json
+    and/or gate against a committed baseline."""
+    import json
+
+    from .perf import SCENARIOS, compare, render_report, run_suite
+
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            print(f"{name:<18} {scenario.description}")
+        return 0
+
+    doc = run_suite(
+        scenarios=args.scenario or None,
+        seed=args.seed,
+        quick=args.quick,
+        verify=not args.no_verify,
+        repeats=args.repeat,
+    )
+    print(render_report(doc))
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+
+    if args.compare:
+        try:
+            with open(args.compare, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = compare(doc, baseline, tolerance=args.tolerance)
+        if problems:
+            print(f"\nFAIL vs baseline {args.compare}:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"\nOK vs baseline {args.compare} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def cmd_selftest(_args: argparse.Namespace) -> int:
     import pkgutil
 
@@ -333,6 +380,40 @@ def main(argv: list[str] | None = None) -> int:
     trace_parser.add_argument("--summary-only", action="store_true",
                               help="skip the timeline, print only summaries")
 
+    bench_parser = sub.add_parser(
+        "bench", help="run the seeded macro perf suite (BENCH_CORE.json)"
+    )
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="CI smoke scale (seconds, not minutes)")
+    bench_parser.add_argument("--seed", type=int, default=42)
+    bench_parser.add_argument(
+        "--scenario", action="append", default=[],
+        help="run only this scenario (repeatable; default: all)",
+    )
+    bench_parser.add_argument("--output", metavar="PATH",
+                              help="write the BENCH_CORE.json document here")
+    bench_parser.add_argument(
+        "--compare", metavar="BASELINE",
+        help="gate against a baseline BENCH_CORE.json (exit 1 on "
+             "regression or behavior-fingerprint change)",
+    )
+    bench_parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional events/sec drop for --compare "
+             "(default 0.30)",
+    )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="time each scenario N times and keep the best wall time "
+             "(defense against machine noise; default 1)",
+    )
+    bench_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the traced verification pass (no trace hashes)",
+    )
+    bench_parser.add_argument("--list", action="store_true",
+                              help="list scenarios and exit")
+
     sub.add_parser("selftest", help="import everything + smoke simulation")
 
     args = parser.parse_args(argv)
@@ -343,6 +424,7 @@ def main(argv: list[str] | None = None) -> int:
         "protocols": cmd_protocols,
         "spectrum": cmd_spectrum,
         "trace": cmd_trace,
+        "bench": cmd_bench,
         "selftest": cmd_selftest,
     }
     return handlers[args.command](args)

@@ -47,8 +47,31 @@ class StateCRDT(abc.ABC):
         """Plain-data (dict/list/tuple) wire representation."""
 
     def copy(self) -> "StateCRDT":
-        """An independent deep copy (same replica id)."""
+        """An independent copy (same replica id) — what a state-based
+        gossip round puts on the wire.
+
+        Concrete types override this with a hand-rolled structural copy
+        of their own containers (``copy.deepcopy`` is an order of
+        magnitude slower and dominated CRDT merge benchmarks).
+        Element/payload *values* are shared, not deep-copied: CRDT
+        contents are treated as immutable, as the wire form
+        (``state()``) already assumes.  Overrides use
+        :meth:`_blank_copy` + field copies and call up through
+        ``super().copy()`` so subclasses compose.
+        """
         return _copy.deepcopy(self)
+
+    def _blank_copy(self) -> "StateCRDT":
+        """An uninitialized instance of our exact class, replica id set.
+
+        Per-type ``copy`` implementations fill in their own fields;
+        ``__init__`` is deliberately skipped so factory-style
+        constructors (e.g. :class:`~repro.crdt.maps.ORMap`) don't need
+        their build arguments replayed.
+        """
+        clone = object.__new__(type(self))
+        clone.replica_id = self.replica_id
+        return clone
 
     def _require_same_type(self, other: "StateCRDT") -> None:
         if type(other) is not type(self):

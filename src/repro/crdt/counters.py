@@ -44,6 +44,11 @@ class GCounter(StateCRDT):
                 self._counts[replica] = count
         return self
 
+    def copy(self) -> "GCounter":
+        clone = self._blank_copy()
+        clone._counts = dict(self._counts)
+        return clone
+
     def state(self) -> dict:
         return dict(self._counts)
 
@@ -83,6 +88,12 @@ class PNCounter(StateCRDT):
         self._p.merge(other._p)
         self._n.merge(other._n)
         return self
+
+    def copy(self) -> "PNCounter":
+        clone = self._blank_copy()
+        clone._p = self._p.copy()
+        clone._n = self._n.copy()
+        return clone
 
     def state(self) -> dict:
         return {"p": self._p.state(), "n": self._n.state()}

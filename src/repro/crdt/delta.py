@@ -66,6 +66,11 @@ class DeltaGCounter(GCounter):
                     self._delta_group[replica] = count
         return self
 
+    def copy(self) -> "DeltaGCounter":  # type: ignore[override]
+        clone = super().copy()
+        clone._delta_group = dict(self._delta_group)
+        return clone
+
 
 class DeltaORSet(ORSet):
     """OR-Set with delta mutators.
@@ -140,3 +145,8 @@ class DeltaORSet(ORSet):
         if not sink._tags and not sink._tombstones:
             self._delta = None
         return self
+
+    def copy(self) -> "DeltaORSet":  # type: ignore[override]
+        clone = super().copy()
+        clone._delta = self._delta.copy() if self._delta is not None else None
+        return clone

@@ -69,6 +69,13 @@ class LWWMap(StateCRDT):
                 self._entries[key] = entry
         return self
 
+    def copy(self) -> "LWWMap":
+        clone = self._blank_copy()
+        clone._seen = self._seen
+        # Entry tuples are immutable, so a shallow dict copy suffices.
+        clone._entries = dict(self._entries)
+        return clone
+
     def state(self) -> dict:
         return {repr(k): (s, v, d) for k, (s, v, d) in self._entries.items()}
 
@@ -160,6 +167,13 @@ class ORMap(StateCRDT):
                 self._values[key] = mine
             mine.merge(remote_value)
         return self
+
+    def copy(self) -> "ORMap":
+        clone = self._blank_copy()
+        clone.value_factory = self.value_factory
+        clone._keys = self._keys.copy()
+        clone._values = {k: v.copy() for k, v in self._values.items()}
+        return clone
 
     def state(self) -> dict:
         return {

@@ -59,6 +59,14 @@ class LWWRegister(StateCRDT):
                 self._value = other._value
         return self
 
+    def copy(self) -> "LWWRegister":
+        clone = self._blank_copy()
+        # LamportStamp is immutable, so the stamp itself is shared.
+        clone._stamp = self._stamp
+        clone._value = self._value
+        clone._seen = self._seen
+        return clone
+
     def state(self) -> dict:
         stamp = None
         if self._stamp is not None:
@@ -139,6 +147,13 @@ class MVRegister(StateCRDT):
                 combined.append((clock, value))
         self._siblings = combined
         return self
+
+    def copy(self) -> "MVRegister":
+        clone = self._blank_copy()
+        # VectorClock is immutable (tick/merge return new instances),
+        # so sharing the (clock, value) tuples is safe.
+        clone._siblings = list(self._siblings)
+        return clone
 
     def state(self) -> list:
         return [(clock.entries(), value) for clock, value in self._siblings]

@@ -163,6 +163,17 @@ class RGA(StateCRDT):
         self._order_cache = None
         return self
 
+    def copy(self) -> "RGA":
+        clone = self._blank_copy()
+        clone._counter = self._counter
+        clone._nodes = dict(self._nodes)  # RGANode is frozen — shareable
+        clone._children = {k: list(v) for k, v in self._children.items()}
+        clone._tombstones = set(self._tombstones)
+        # The order cache is only ever replaced wholesale (never mutated
+        # in place), so sharing the current list is safe.
+        clone._order_cache = self._order_cache
+        return clone
+
     def state(self) -> dict:
         return {
             "nodes": [

@@ -43,6 +43,11 @@ class GSet(StateCRDT):
         self._items |= other._items
         return self
 
+    def copy(self) -> "GSet":
+        clone = self._blank_copy()
+        clone._items = set(self._items)
+        return clone
+
     def state(self) -> list:
         return sorted(self._items, key=repr)
 
@@ -86,6 +91,12 @@ class TwoPSet(StateCRDT):
         self._added |= other._added
         self._removed |= other._removed
         return self
+
+    def copy(self) -> "TwoPSet":
+        clone = self._blank_copy()
+        clone._added = set(self._added)
+        clone._removed = set(self._removed)
+        return clone
 
     def state(self) -> dict:
         return {
@@ -159,6 +170,15 @@ class ORSet(StateCRDT):
                 if replica == self.replica_id and count > self._counter:
                     self._counter = count
         return self
+
+    def copy(self) -> "ORSet":
+        clone = self._blank_copy()
+        clone._counter = self._counter
+        clone._tags = {item: set(tags) for item, tags in self._tags.items()}
+        clone._tombstones = {
+            item: set(dead) for item, dead in self._tombstones.items()
+        }
+        return clone
 
     def state(self) -> dict:
         return {
@@ -236,6 +256,14 @@ class LWWElementSet(StateCRDT):
             if stamp > self._removes.get(item, (0, "")):
                 self._removes[item] = stamp
         return self
+
+    def copy(self) -> "LWWElementSet":
+        clone = self._blank_copy()
+        clone.bias = self.bias
+        clone._seen = self._seen
+        clone._adds = dict(self._adds)
+        clone._removes = dict(self._removes)
+        return clone
 
     def state(self) -> dict:
         return {

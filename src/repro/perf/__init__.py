@@ -1,0 +1,46 @@
+"""Seeded macro-benchmark harness (``repro bench``).
+
+The perf package is the repo's measurement loop: a small set of
+macro scenarios — quorum YCSB through the workload driver, the
+sharded ring, multipaxos, and a CRDT merge storm — each a
+deterministic function of one seed, timed end-to-end and written to
+``BENCH_CORE.json`` (events/sec, ops/sec, wall time, peak RSS per
+scenario).  Every scenario is also re-run under a hashing tracer so a
+perf PR can prove behavior is unchanged: same seed ⇒ same trace hash
+and same ``metrics.snapshot()`` digest, before and after an
+optimization.
+
+Entry points::
+
+    python -m repro bench --quick              # CI smoke scale
+    python -m repro bench --output BENCH_CORE.json
+    python -m repro bench --quick --compare BENCH_CORE.json
+"""
+
+from .harness import (
+    DEFAULT_SEED,
+    SCHEMA,
+    HashingTracer,
+    PerfHarnessError,
+    ScenarioReport,
+    compare,
+    render_report,
+    run_scenario,
+    run_suite,
+)
+from .scenarios import SCENARIOS, Scenario, ScenarioOutcome
+
+__all__ = [
+    "DEFAULT_SEED",
+    "SCHEMA",
+    "SCENARIOS",
+    "HashingTracer",
+    "PerfHarnessError",
+    "Scenario",
+    "ScenarioOutcome",
+    "ScenarioReport",
+    "compare",
+    "render_report",
+    "run_scenario",
+    "run_suite",
+]

@@ -247,6 +247,7 @@ class ServerNode(Node):
         self._busy_until = 0.0
         self._dedup: dict[Hashable, _DedupEntry] = {}
         self._dedup_hits = sim.metrics.counter("rpc.dedup_hits")
+        self._serve_cache: dict[type, Any] = {}
 
     def handle_Request(self, src: Hashable, msg: Request) -> None:
         key = msg.idempotency_key
@@ -274,12 +275,16 @@ class ServerNode(Node):
                        self._dispatch_request, src, msg)
 
     def _dispatch_request(self, src: Hashable, msg: Request) -> None:
-        handler = getattr(self, f"serve_{type(msg.payload).__name__}", None)
+        payload_cls = type(msg.payload)
+        handler = self._serve_cache.get(payload_cls)
         if handler is None:
-            raise SimulationError(
-                f"{type(self).__name__} {self.node_id!r} cannot serve "
-                f"{type(msg.payload).__name__}"
-            )
+            handler = getattr(self, f"serve_{payload_cls.__name__}", None)
+            if handler is None:
+                raise SimulationError(
+                    f"{type(self).__name__} {self.node_id!r} cannot serve "
+                    f"{payload_cls.__name__}"
+                )
+            self._serve_cache[payload_cls] = handler
         key = msg.idempotency_key
         entry = self._dedup.get(key) if key is not None else None
         try:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Hashable, Iterator
+from typing import Hashable
 
 
 def stable_hash(value: object) -> int:
@@ -32,6 +32,12 @@ class HashRing:
         self.vnodes = vnodes
         self._tokens: list[tuple[int, Hashable]] = []
         self._nodes: list[Hashable] = []
+        # key -> full distinct-node walk order.  The walk is a pure
+        # function of (key, membership), and every request hashes its
+        # key and walks the ring, so this cache turns the per-request
+        # blake2b + token scan into a dict hit.  Invalidated on any
+        # membership change.
+        self._walk_cache: dict[Hashable, tuple[Hashable, ...]] = {}
         for node in nodes:
             self.add_node(node)
 
@@ -42,40 +48,44 @@ class HashRing:
         for i in range(self.vnodes):
             token = stable_hash((node, i))
             bisect.insort(self._tokens, (token, node))
+        self._walk_cache.clear()
 
     def remove_node(self, node: Hashable) -> None:
         if node not in self._nodes:
             raise ValueError(f"node {node!r} not on ring")
         self._nodes.remove(node)
         self._tokens = [(t, n) for t, n in self._tokens if n != node]
+        self._walk_cache.clear()
 
     @property
     def nodes(self) -> list[Hashable]:
         return list(self._nodes)
 
-    def _walk_from(self, key: Hashable) -> Iterator[Hashable]:
+    def _walk_from(self, key: Hashable) -> tuple[Hashable, ...]:
         """Physical nodes clockwise from the key's token, distinct,
-        cycling over the whole ring once."""
+        cycling over the whole ring once.  Cached per key."""
+        cached = self._walk_cache.get(key)
+        if cached is not None:
+            return cached
         if not self._tokens:
-            return
+            return ()
         token = stable_hash(key)
         start = bisect.bisect_right(self._tokens, (token, _SENTINEL))
+        out: list[Hashable] = []
         seen: set[Hashable] = set()
         count = len(self._tokens)
         for offset in range(count):
             _t, node = self._tokens[(start + offset) % count]
             if node not in seen:
                 seen.add(node)
-                yield node
+                out.append(node)
+        walk = tuple(out)
+        self._walk_cache[key] = walk
+        return walk
 
     def preference_list(self, key: Hashable, n: int) -> list[Hashable]:
         """The key's N home replicas (fewer if the ring is smaller)."""
-        out = []
-        for node in self._walk_from(key):
-            out.append(node)
-            if len(out) == n:
-                break
-        return out
+        return list(self._walk_from(key)[:n])
 
     def fallbacks(self, key: Hashable, exclude: set) -> list[Hashable]:
         """Ring walk in key order skipping ``exclude`` — the
@@ -84,7 +94,7 @@ class HashRing:
 
     def coordinator(self, key: Hashable) -> Hashable:
         """The key's first home node — the default coordinator."""
-        return self.preference_list(key, 1)[0]
+        return self._walk_from(key)[0]
 
 
 class _Sentinel:

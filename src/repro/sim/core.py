@@ -13,6 +13,7 @@ in real-world WAN round-trip terms.
 
 from __future__ import annotations
 
+import heapq
 import random
 from typing import Any, Callable
 
@@ -69,6 +70,7 @@ class Simulator:
         self.trace = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._queue = EventQueue()
+        self._push = self._queue.push  # bound once: scheduling is hot
         self._running = False
         self._stopped = False
         self.events_processed = 0
@@ -89,7 +91,7 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self._queue.push(self.now + delay, fn, args)
+        return self._push(self.now + delay, fn, args)
 
     def schedule_daemon(
         self, delay: float, fn: Callable[..., Any], *args: Any
@@ -100,7 +102,7 @@ class Simulator:
         forever."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self._queue.push(self.now + delay, fn, args, daemon=True)
+        return self._push(self.now + delay, fn, args, daemon=True)
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute simulated time ``time``."""
@@ -108,12 +110,17 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        return self._queue.push(time, fn, args)
+        return self._push(time, fn, args)
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` at the current time, after pending events
-        already scheduled for this instant."""
-        return self._queue.push(self.now, fn, args)
+        already scheduled for this instant.
+
+        This is the fast path the future/process machinery leans on:
+        no delay validation, no clock arithmetic — straight onto the
+        queue at ``now``.
+        """
+        return self._push(self.now, fn, args)
 
     # ------------------------------------------------------------------
     # Execution
@@ -139,21 +146,43 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        limit = max_events if max_events is not None else float("inf")
+        # Hot loop: hoist every per-iteration attribute lookup and
+        # inline peek/pop straight against the heap (EventQueue._compact
+        # rebuilds the heap list in place, so the alias stays valid
+        # across callbacks).  The tracer's ``enabled`` flag is a class
+        # attribute, so it cannot change mid-run; ``_fn_name`` is only
+        # computed when it is on.
+        queue = self._queue
+        heap = queue._heap
+        pop_entry = heapq.heappop
+        trace = self.trace
+        tracing = trace.enabled
+        trace_record = trace.record
+        no_deadline = until is None
         try:
-            while self._queue:
-                if until is None and self._queue.foreground_live == 0:
+            while queue._live:
+                if no_deadline and queue._foreground == 0:
                     break  # only daemon timers remain: the run is done
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                while heap and heap[0][2].cancelled:
+                    pop_entry(heap)
+                    queue._dead -= 1
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                if not no_deadline and heap[0][0] > until:
                     break
-                event = self._queue.pop()
+                event = pop_entry(heap)[2]
+                # Same accounting as EventQueue.pop(): mark executed
+                # *before* dispatch so a self-cancel is a no-op.
+                event.executed = True
+                queue._live -= 1
+                if not event.daemon:
+                    queue._foreground -= 1
                 if event.time < self.now:  # pragma: no cover - defensive
                     raise SimulationError("event queue yielded an event in the past")
                 self.now = event.time
-                if self.trace.enabled:
-                    self.trace.record(
+                if tracing:
+                    trace_record(
                         event.time, "event_executed",
                         fn=_fn_name(event.fn), seq=event.seq,
                         daemon=event.daemon,
@@ -163,7 +192,7 @@ class Simulator:
                 self.events_processed += 1
                 if self._stopped:
                     break
-                if max_events is not None and processed >= max_events:
+                if processed >= limit:
                     break
             if until is not None and not self._stopped and self.now < until:
                 # Fast-forward to the deadline only if nothing is still
@@ -176,8 +205,28 @@ class Simulator:
         finally:
             self._running = False
 
-    def step(self) -> bool:
-        """Process exactly one event.  Returns ``False`` when idle."""
+    def step(self, daemons: bool = True) -> bool:
+        """Process exactly one event.  Returns ``False`` when idle.
+
+        Parameters
+        ----------
+        daemons:
+            When ``False``, a queue holding only daemon timers counts
+            as idle — the same termination rule a deadline-less
+            :meth:`run` applies.  The default ``True`` steps through
+            daemons too (useful when driving the clock by hand).
+
+        Like :meth:`run`, stepping is not re-entrant: the simulator is
+        marked running while the callback executes, so a callback that
+        calls ``run()`` (or ``step()``) fails loudly instead of
+        silently interleaving two dispatch loops.
+        """
+        if self._running:
+            raise SimulationError(
+                "simulator is already running (re-entrant step())"
+            )
+        if not daemons and self._queue.foreground_live == 0:
+            return False
         next_time = self._queue.peek_time()
         if next_time is None:
             return False
@@ -190,7 +239,11 @@ class Simulator:
                 event.time, "event_executed",
                 fn=_fn_name(event.fn), seq=event.seq, daemon=event.daemon,
             )
-        event.fn(*event.args)
+        self._running = True
+        try:
+            event.fn(*event.args)
+        finally:
+            self._running = False
         self.events_processed += 1
         return True
 

@@ -1,15 +1,23 @@
 """Event queue primitives for the discrete-event simulator.
 
-The queue is a binary heap ordered by ``(time, sequence)``.  The
-monotonically increasing sequence number makes the ordering of
-simultaneous events deterministic (FIFO in scheduling order), which is
-what makes whole simulations reproducible from a seed.
+The queue is a binary heap of ``(time, seq, event)`` tuples ordered by
+``(time, sequence)``.  The monotonically increasing sequence number
+makes the ordering of simultaneous events deterministic (FIFO in
+scheduling order), which is what makes whole simulations reproducible
+from a seed.  Storing plain tuples — not :class:`Event` objects — keeps
+every ``heapq`` comparison in C; the interpreter never re-enters
+``Event.__lt__`` on the hot path.
+
+Cancellation is lazy: a cancelled event is flagged in O(1) and skipped
+when it surfaces from the heap.  When cancelled entries outnumber live
+ones (a hedged-RPC storm cancelling its loser timers, say), the heap is
+compacted in one pass so dead timers cannot dominate heap depth for the
+rest of a long run.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable
 
 from ..errors import SimulationError
@@ -47,15 +55,24 @@ class Event:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; cancelling an
-        event that already fired is a harmless no-op."""
+        event that already fired (or is currently firing — the queue
+        marks ``executed`` at pop, before the callback runs) is a
+        harmless no-op, so queue accounting can never double-decrement.
+        """
         if not self.cancelled and not self.executed:
             self.cancelled = True
-            if self._queue is not None:
-                self._queue._live -= 1
+            queue = self._queue
+            if queue is not None:
+                queue._live -= 1
                 if not self.daemon:
-                    self._queue._foreground -= 1
+                    queue._foreground -= 1
+                queue._dead += 1
+                if queue._dead > queue._live:
+                    queue._compact()
 
     def __lt__(self, other: "Event") -> bool:
+        # Not used by the heap (tuples compare first); kept so sorting
+        # Event handles directly stays meaningful.
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -65,13 +82,14 @@ class Event:
 
 
 class EventQueue:
-    """Deterministic min-heap of :class:`Event` objects."""
+    """Deterministic min-heap of ``(time, seq, Event)`` entries."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
         self._live = 0
         self._foreground = 0
+        self._dead = 0  # cancelled entries still parked in the heap
 
     def __len__(self) -> int:
         return self._live
@@ -86,6 +104,12 @@ class EventQueue:
         simulation is 'done' when only daemons remain."""
         return self._foreground
 
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, live + not-yet-collected cancelled
+        entries.  Compaction keeps this within 2x the live count."""
+        return len(self._heap)
+
     def push(
         self,
         time: float,
@@ -93,9 +117,10 @@ class EventQueue:
         args: tuple = (),
         daemon: bool = False,
     ) -> Event:
-        event = Event(time, next(self._counter), fn, args, queue=self,
-                      daemon=daemon)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self, daemon)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         if not daemon:
             self._foreground += 1
@@ -104,11 +129,18 @@ class EventQueue:
     def pop(self) -> Event:
         """Pop the earliest non-cancelled event.
 
+        The popped event is marked ``executed`` *before* it is returned
+        (so before its callback can run): a callback cancelling the
+        very event being dispatched must see a no-op, not a second
+        live-count decrement.
+
         Raises :class:`SimulationError` if the queue is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
+                self._dead -= 1
                 continue
             event.executed = True
             self._live -= 1
@@ -119,8 +151,26 @@ class EventQueue:
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify (O(live)).
+
+        Triggered from :meth:`Event.cancel` once cancelled entries
+        outnumber live ones — mass cancellation (hedged-RPC losers,
+        crash-time timer sweeps) would otherwise leave the heap mostly
+        dead weight for the remainder of the run.
+
+        Rebuilds **in place** (slice assignment): ``Simulator.run``
+        holds a direct reference to the heap list across callbacks, and
+        a callback may cancel events and trigger compaction mid-run.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0

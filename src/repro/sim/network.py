@@ -23,7 +23,16 @@ NodeId = Hashable
 
 
 class LatencyModel(Protocol):
-    """Samples a one-way message delay in milliseconds."""
+    """Samples a one-way message delay in milliseconds.
+
+    Models may additionally provide ``link_sampler(src, dst)``
+    returning a per-link ``sampler(rng) -> float`` closure; the network
+    caches one per (src, dst) pair so the hot send path skips the
+    generic dispatch (and any per-pair table lookups) while drawing the
+    exact same values from the RNG.  Parameters are captured when the
+    first message crosses a link — swap the network's whole ``latency``
+    model to reconfigure, don't mutate one in place.
+    """
 
     def sample(self, rng, src: NodeId, dst: NodeId) -> float:  # pragma: no cover
         ...
@@ -40,6 +49,10 @@ class FixedLatency:
     def sample(self, rng, src: NodeId, dst: NodeId) -> float:
         return self.delay
 
+    def link_sampler(self, src: NodeId, dst: NodeId) -> Callable[[Any], float]:
+        delay = self.delay
+        return lambda rng: delay
+
 
 class UniformLatency:
     """Delay uniform in ``[low, high]`` ms."""
@@ -52,6 +65,10 @@ class UniformLatency:
 
     def sample(self, rng, src: NodeId, dst: NodeId) -> float:
         return rng.uniform(self.low, self.high)
+
+    def link_sampler(self, src: NodeId, dst: NodeId) -> Callable[[Any], float]:
+        low, high = self.low, self.high
+        return lambda rng: rng.uniform(low, high)
 
 
 class ExponentialLatency:
@@ -66,6 +83,10 @@ class ExponentialLatency:
 
     def sample(self, rng, src: NodeId, dst: NodeId) -> float:
         return self.base + rng.expovariate(1.0 / self.mean)
+
+    def link_sampler(self, src: NodeId, dst: NodeId) -> Callable[[Any], float]:
+        base, rate = self.base, 1.0 / self.mean
+        return lambda rng: base + rng.expovariate(rate)
 
 
 class LogNormalLatency:
@@ -84,6 +105,10 @@ class LogNormalLatency:
 
     def sample(self, rng, src: NodeId, dst: NodeId) -> float:
         return rng.lognormvariate(self.mu, self.sigma)
+
+    def link_sampler(self, src: NodeId, dst: NodeId) -> Callable[[Any], float]:
+        mu, sigma = self.mu, self.sigma
+        return lambda rng: rng.lognormvariate(mu, sigma)
 
 
 class MatrixLatency:
@@ -106,16 +131,28 @@ class MatrixLatency:
         self.jitter = jitter
         self.default = default
 
-    def sample(self, rng, src: NodeId, dst: NodeId) -> float:
+    def _base_for(self, src: NodeId, dst: NodeId) -> float:
         key = (self.site_of(src), self.site_of(dst))
         base = self.matrix.get(key)
         if base is None:
             base = self.matrix.get((key[1], key[0]), self.default)
         if base is None:
             raise NetworkError(f"no latency entry for {key}")
+        return base
+
+    def sample(self, rng, src: NodeId, dst: NodeId) -> float:
+        base = self._base_for(src, dst)
         if self.jitter <= 0:
             return base
         return base * rng.uniform(1.0, 1.0 + self.jitter)
+
+    def link_sampler(self, src: NodeId, dst: NodeId) -> Callable[[Any], float]:
+        # Resolve the site mapping and matrix lookups once per link.
+        base = self._base_for(src, dst)
+        if self.jitter <= 0:
+            return lambda rng: base
+        ceiling = 1.0 + self.jitter
+        return lambda rng: base * rng.uniform(1.0, ceiling)
 
 
 def estimate_size(obj: Any) -> int:
@@ -174,6 +211,11 @@ class NetworkStats:
         for name in self._COUNTERS:
             setattr(self, "_" + name, registry.counter(f"{prefix}.{name}"))
         self._type_counters: dict[str, Any] = {}
+        # Hot-path cache keyed by message *class*: one dict hit per
+        # send instead of re-formatting "<prefix>.by_type.<name>" and
+        # re-hashing the name string.  Distinct classes sharing a
+        # __name__ share the registry counter, as before.
+        self._class_counters: dict[type, Any] = {}
 
     @property
     def messages_sent(self) -> int:
@@ -210,13 +252,22 @@ class NetworkStats:
             for name, counter in self._type_counters.items()
         }
 
-    def record_type(self, message: Any) -> None:
-        name = type(message).__name__
-        counter = self._type_counters.get(name)
+    def counter_for_type(self, cls: type) -> Any:
+        """Get-or-create the ``by_type`` counter for a message class."""
+        counter = self._class_counters.get(cls)
         if counter is None:
-            counter = self._registry.counter(f"{self._prefix}.by_type.{name}")
-            self._type_counters[name] = counter
-        counter.inc()
+            name = cls.__name__
+            counter = self._type_counters.get(name)
+            if counter is None:
+                counter = self._registry.counter(
+                    f"{self._prefix}.by_type.{name}"
+                )
+                self._type_counters[name] = counter
+            self._class_counters[cls] = counter
+        return counter
+
+    def record_type(self, message: Any) -> None:
+        self.counter_for_type(type(message)).inc()
 
 
 class Network:
@@ -253,7 +304,7 @@ class Network:
         if not 0 <= duplicate_rate < 1:
             raise NetworkError("duplicate_rate must be in [0, 1)")
         self.sim = sim
-        self.latency = latency or FixedLatency(1.0)
+        self._latency = latency or FixedLatency(1.0)
         self.loss_rate = loss_rate
         self.duplicate_rate = duplicate_rate
         self.loopback_latency = loopback_latency
@@ -261,6 +312,32 @@ class Network:
         self.stats = NetworkStats(sim.metrics)
         self._nodes: dict[NodeId, Any] = {}
         self._partition: dict[NodeId, int] | None = None
+        self._samplers: dict[tuple[NodeId, NodeId], Callable[[Any], float]] = {}
+        # Bound counter methods + per-class inc cache: send()/_deliver()
+        # run once per message, so even a counter attribute walk is
+        # worth hoisting.
+        self._inc_sent = self.stats._messages_sent.inc
+        self._inc_delivered = self.stats._messages_delivered.inc
+        self._type_incs: dict[type, Callable[..., Any]] = {}
+
+    @property
+    def latency(self) -> LatencyModel:
+        return self._latency
+
+    @latency.setter
+    def latency(self, model: LatencyModel) -> None:
+        # Swapping the model invalidates every cached per-link sampler.
+        self._latency = model
+        self._samplers.clear()
+
+    def _link_sampler(
+        self, src: NodeId, dst: NodeId
+    ) -> Callable[[Any], float]:
+        factory = getattr(self._latency, "link_sampler", None)
+        if factory is not None:
+            return factory(src, dst)
+        sample = self._latency.sample
+        return lambda rng: sample(rng, src, dst)
 
     # ------------------------------------------------------------------
     # Membership
@@ -322,53 +399,69 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, src: NodeId, dst: NodeId, message: Any) -> None:
         """Fire-and-forget unicast.  Drops are silent, as in UDP/IP —
-        protocol code must tolerate them."""
-        if dst not in self._nodes:
+        protocol code must tolerate them.
+
+        This is the hottest function in the simulator after the event
+        loop itself: the per-type counter is one class-keyed dict hit,
+        the message type name is only computed when tracing is on, the
+        payload size estimate only when ``track_bytes`` asked for it,
+        and per-link latency samplers are built once per (src, dst).
+        """
+        nodes = self._nodes
+        if dst not in nodes:
             raise NetworkError(f"unknown destination {dst!r}")
+        sim = self.sim
         stats = self.stats
-        trace = self.sim.trace
-        stats._messages_sent.inc()
-        stats.record_type(message)
+        trace = sim.trace
+        tracing = trace.enabled
+        msg_type = type(message)
+        msg_name = msg_type.__name__ if tracing else None
+        self._inc_sent()
+        type_inc = self._type_incs.get(msg_type)
+        if type_inc is None:
+            type_inc = stats.counter_for_type(msg_type).inc
+            self._type_incs[msg_type] = type_inc
+        type_inc()
         if self.track_bytes:
             stats._bytes_sent.inc(estimate_size(message))
-        if trace.enabled:
-            trace.record(self.sim.now, MSG_SEND, src=src, dst=dst,
-                         msg_type=type(message).__name__)
-        src_node = self._nodes.get(src)
+        if tracing:
+            trace.record(sim.now, MSG_SEND, src=src, dst=dst,
+                         msg_type=msg_name)
+        src_node = nodes.get(src)
         if src_node is not None and getattr(src_node, "crashed", False):
             # Fail-stop means a crashed node cannot put messages on the
             # wire, not just that it stops hearing them.
             stats._messages_dropped_crash.inc()
-            if trace.enabled:
-                trace.record(self.sim.now, MSG_DROP, reason="crash",
-                             src=src, dst=dst,
-                             msg_type=type(message).__name__)
+            if tracing:
+                trace.record(sim.now, MSG_DROP, reason="crash",
+                             src=src, dst=dst, msg_type=msg_name)
             return
-        if not self.reachable(src, dst):
+        if self._partition is not None and not self.reachable(src, dst):
             stats._messages_dropped_partition.inc()
-            if trace.enabled:
-                trace.record(self.sim.now, MSG_DROP, reason="partition",
-                             src=src, dst=dst,
-                             msg_type=type(message).__name__)
+            if tracing:
+                trace.record(sim.now, MSG_DROP, reason="partition",
+                             src=src, dst=dst, msg_type=msg_name)
             return
         copies = 1
-        if self.duplicate_rate and self.sim.rng.random() < self.duplicate_rate:
+        if self.duplicate_rate and sim.rng.random() < self.duplicate_rate:
             copies = 2
             stats._messages_duplicated.inc()
         for _ in range(copies):
-            if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+            if self.loss_rate and sim.rng.random() < self.loss_rate:
                 stats._messages_dropped_loss.inc()
-                if trace.enabled:
-                    trace.record(self.sim.now, MSG_DROP, reason="loss",
-                                 src=src, dst=dst,
-                                 msg_type=type(message).__name__)
+                if tracing:
+                    trace.record(sim.now, MSG_DROP, reason="loss",
+                                 src=src, dst=dst, msg_type=msg_name)
                 continue
-            delay = (
-                self.loopback_latency
-                if src == dst
-                else self.latency.sample(self.sim.rng, src, dst)
-            )
-            self.sim.schedule(delay, self._deliver, src, dst, message)
+            if src == dst:
+                delay = self.loopback_latency
+            else:
+                sampler = self._samplers.get((src, dst))
+                if sampler is None:
+                    sampler = self._link_sampler(src, dst)
+                    self._samplers[(src, dst)] = sampler
+                delay = sampler(sim.rng)
+            sim._push(sim.now + delay, self._deliver, (src, dst, message))
 
     def broadcast(self, src: NodeId, message: Any, include_self: bool = False) -> None:
         # Snapshot the membership: a callback reached from send() (e.g.
@@ -383,16 +476,17 @@ class Network:
         node = self._nodes.get(dst)
         if node is None:  # pragma: no cover - node removed mid-flight
             return
-        trace = self.sim.trace
+        sim = self.sim
+        trace = sim.trace
         if getattr(node, "crashed", False):
             self.stats._messages_dropped_crash.inc()
             if trace.enabled:
-                trace.record(self.sim.now, MSG_DROP, reason="crash",
+                trace.record(sim.now, MSG_DROP, reason="crash",
                              src=src, dst=dst,
                              msg_type=type(message).__name__)
             return
-        self.stats._messages_delivered.inc()
+        self._inc_delivered()
         if trace.enabled:
-            trace.record(self.sim.now, MSG_DELIVER, src=src, dst=dst,
+            trace.record(sim.now, MSG_DELIVER, src=src, dst=dst,
                          msg_type=type(message).__name__)
         node.deliver(src, message)

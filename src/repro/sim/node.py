@@ -35,6 +35,8 @@ class Node:
         self.node_id = node_id
         self.crashed = False
         self._timers: list[Event] = []
+        self._timer_prune_at = 64
+        self._handler_cache: dict[type, Callable[..., Any]] = {}
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -61,13 +63,22 @@ class Node:
         self.on_message(src, message)
 
     def on_message(self, src: Hashable, message: Any) -> None:
-        """Dispatch to ``handle_<type(message).__name__>``."""
-        handler = getattr(self, f"handle_{type(message).__name__}", None)
+        """Dispatch to ``handle_<type(message).__name__>``.
+
+        The bound handler is cached per message class — name
+        formatting + ``getattr`` once per type, then one dict hit per
+        delivery.
+        """
+        cls = type(message)
+        handler = self._handler_cache.get(cls)
         if handler is None:
-            raise SimulationError(
-                f"{type(self).__name__} {self.node_id!r} has no handler for "
-                f"{type(message).__name__}"
-            )
+            handler = getattr(self, f"handle_{cls.__name__}", None)
+            if handler is None:
+                raise SimulationError(
+                    f"{type(self).__name__} {self.node_id!r} has no handler "
+                    f"for {cls.__name__}"
+                )
+            self._handler_cache[cls] = handler
         handler(src, message)
 
     # ------------------------------------------------------------------
@@ -96,8 +107,17 @@ class Node:
         else:
             event = self.sim.schedule(delay, guarded)
         self._timers.append(event)
-        if len(self._timers) > 64:
-            self._timers = [t for t in self._timers if not t.cancelled]
+        if len(self._timers) > self._timer_prune_at:
+            # Prune fired timers too, not just cancelled ones — on a
+            # busy node the list is mostly already-executed events, and
+            # rescanning them on every set_timer made this prune
+            # quadratic over a long run.  Doubling the next-prune
+            # threshold keeps the rescan amortized O(1) per timer even
+            # when a node legitimately holds many live timers.
+            self._timers = [
+                t for t in self._timers if not (t.executed or t.cancelled)
+            ]
+            self._timer_prune_at = max(64, 2 * len(self._timers))
         return event
 
     def every(self, interval: float, fn: Callable[..., Any], *args: Any,

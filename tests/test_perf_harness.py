@@ -1,0 +1,208 @@
+"""The ``repro.perf`` macro-benchmark harness and its CI compare gate.
+
+Scenario runs here use ``quick=True`` scale — these tests check the
+harness machinery (determinism, fingerprinting, comparison), not
+absolute performance.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    SCENARIOS,
+    HashingTracer,
+    PerfHarnessError,
+    compare,
+    render_report,
+    run_scenario,
+    run_suite,
+)
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+
+def test_scenario_registry_names():
+    assert set(SCENARIOS) == {
+        "quorum_ycsb", "sharded_ring", "multipaxos", "crdt_merge_storm",
+    }
+    for scenario in SCENARIOS.values():
+        assert scenario.description
+
+
+def test_hashing_tracer_matches_dumped_jsonl(tmp_path):
+    """HashingTracer's digest must be byte-comparable with a trace file
+    written by the storing Tracer — that is what lets full-scale bench
+    runs fingerprint behavior without holding the timeline in memory."""
+    def drive(sim):
+        net_like = []
+        sim.schedule(1.0, net_like.append, "a")
+        sim.schedule(2.0, net_like.append, "b")
+        sim.run()
+        sim.trace.annotate(sim.now, "checkpoint", detail=1)
+
+    stored = Tracer()
+    sim1 = Simulator(seed=7, tracer=stored)
+    drive(sim1)
+    path = tmp_path / "trace.jsonl"
+    stored.dump_jsonl(path)
+    file_digest = hashlib.sha256(path.read_bytes()).hexdigest()
+
+    hashing = HashingTracer()
+    sim2 = Simulator(seed=7, tracer=hashing)
+    drive(sim2)
+    assert hashing.hexdigest() == file_digest
+    assert hashing.count == len(stored.events)
+
+
+def test_run_scenario_quick_is_deterministic():
+    first = run_scenario("crdt_merge_storm", seed=11, quick=True)
+    second = run_scenario("crdt_merge_storm", seed=11, quick=True)
+    assert first.trace_hash == second.trace_hash
+    assert first.metrics_digest == second.metrics_digest
+    assert first.events == second.events
+    assert first.ops == second.ops
+    assert first.events > 0 and first.ops > 0
+
+
+def test_run_scenario_seed_changes_fingerprint():
+    # A networked scenario: the seed drives latency sampling, so a
+    # different seed must yield a different delivery timeline.  (The
+    # CRDT storm's *event structure* is deliberately seed-independent —
+    # only payload contents vary — so it is not used here.)
+    a = run_scenario("quorum_ycsb", seed=1, quick=True)
+    b = run_scenario("quorum_ycsb", seed=2, quick=True)
+    assert a.trace_hash != b.trace_hash
+
+
+def test_run_scenario_repeats_best_of():
+    report = run_scenario("crdt_merge_storm", seed=11, quick=True, repeats=2)
+    assert report.events > 0
+    with pytest.raises(ValueError):
+        run_scenario("crdt_merge_storm", seed=11, quick=True, repeats=0)
+
+
+def test_run_suite_document_shape():
+    doc = run_suite(scenarios=["crdt_merge_storm"], seed=3, quick=True)
+    assert doc["schema"] == "repro.perf.bench_core/1"
+    assert doc["seed"] == 3
+    assert doc["quick"] is True
+    entry = doc["scenarios"]["crdt_merge_storm"]
+    for field in ("events", "ops", "wall_s", "events_per_sec",
+                  "ops_per_sec", "metrics_digest", "trace_hash"):
+        assert field in entry
+    # The document round-trips through JSON (that is its whole job).
+    assert json.loads(json.dumps(doc)) == doc
+    assert "crdt_merge_storm" in render_report(doc)
+
+
+def test_run_suite_rejects_unknown_scenario():
+    with pytest.raises(KeyError):
+        run_suite(scenarios=["nope"], seed=1, quick=True)
+
+
+def _doc(events_per_sec=1000.0, trace_hash="t1", metrics_digest="m1",
+         seed=42, quick=True, python="3.11.7"):
+    return {
+        "schema": "repro.perf.bench_core/1",
+        "seed": seed,
+        "quick": quick,
+        "python": python,
+        "platform": "linux",
+        "scenarios": {
+            "s": {
+                "events_per_sec": events_per_sec,
+                "trace_hash": trace_hash,
+                "metrics_digest": metrics_digest,
+            },
+        },
+    }
+
+
+def test_compare_passes_within_tolerance():
+    assert compare(_doc(events_per_sec=800.0), _doc(), tolerance=0.30) == []
+
+
+def test_compare_flags_regression():
+    problems = compare(_doc(events_per_sec=500.0), _doc(), tolerance=0.30)
+    assert len(problems) == 1
+    assert "regressed" in problems[0]
+
+
+def test_compare_flags_missing_scenario():
+    current = _doc()
+    current["scenarios"] = {}
+    problems = compare(current, _doc())
+    assert problems == ["s: missing from current run"]
+
+
+def test_compare_flags_fingerprint_change_same_basis():
+    problems = compare(_doc(trace_hash="t2"), _doc())
+    assert any("trace_hash changed" in p for p in problems)
+
+
+def test_compare_ignores_fingerprints_across_basis_changes():
+    # Different seed, scale, or Python minor: hashes are incomparable
+    # and only the throughput gate applies.
+    for variant in (
+        _doc(trace_hash="t2", seed=43),
+        _doc(trace_hash="t2", quick=False),
+        _doc(trace_hash="t2", python="3.12.1"),
+    ):
+        assert compare(variant, _doc()) == []
+
+
+def test_cli_bench_list(capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "quorum_ycsb" in out and "sharded_ring" in out
+
+
+def test_cli_bench_quick_compare_roundtrip(tmp_path, capsys):
+    """bench --output then --compare against its own output: the gate
+    must pass (same machine, same code, identical fingerprints)."""
+    baseline = tmp_path / "BENCH_CORE.json"
+    assert main([
+        "bench", "--quick", "--seed", "5",
+        "--scenario", "crdt_merge_storm",
+        "--output", str(baseline),
+    ]) == 0
+    assert baseline.exists()
+    assert main([
+        "bench", "--quick", "--seed", "5",
+        "--scenario", "crdt_merge_storm",
+        "--compare", str(baseline),
+        "--tolerance", "0.99",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "OK vs baseline" in out
+
+
+def test_cli_bench_compare_detects_doctored_baseline(tmp_path, capsys):
+    baseline = tmp_path / "BENCH_CORE.json"
+    assert main([
+        "bench", "--quick", "--seed", "5",
+        "--scenario", "crdt_merge_storm",
+        "--output", str(baseline),
+    ]) == 0
+    doc = json.loads(baseline.read_text())
+    entry = doc["scenarios"]["crdt_merge_storm"]
+    entry["events_per_sec"] = entry["events_per_sec"] * 1e6
+    baseline.write_text(json.dumps(doc))
+    assert main([
+        "bench", "--quick", "--seed", "5",
+        "--scenario", "crdt_merge_storm",
+        "--compare", str(baseline),
+    ]) == 1
+
+
+def test_scenarios_error_cleanly_on_bad_name():
+    with pytest.raises(KeyError):
+        run_scenario("missing", quick=True)
+
+
+def test_perf_harness_error_is_repro_error():
+    from repro.errors import ReproError
+    assert issubclass(PerfHarnessError, ReproError)

@@ -302,3 +302,62 @@ def test_step_skips_cancelled_events_and_keeps_accounting():
     assert sim.now == 2.0
     assert sim.step() is False
     assert sim.pending_events == 0
+
+
+def test_step_rejects_reentrant_step():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.step()
+        errors.append("raised")
+
+    sim.schedule(1.0, reenter)
+    assert sim.step() is True
+    assert errors == ["raised"]
+
+
+def test_run_rejected_from_within_step():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+        errors.append("raised")
+
+    sim.schedule(1.0, reenter)
+    sim.step()
+    assert errors == ["raised"]
+    # The guard is released afterwards: normal stepping still works.
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+
+
+def test_step_daemons_false_treats_daemon_only_queue_as_idle():
+    sim = Simulator()
+    out = []
+    sim.schedule_daemon(1.0, out.append, "daemon")
+    # Same termination rule as a deadline-less run(): only daemons
+    # left means the simulation is done.
+    assert sim.step(daemons=False) is False
+    assert out == []
+    assert sim.now == 0.0
+    # The default still steps through daemons (hand-driven clock).
+    assert sim.step() is True
+    assert out == ["daemon"]
+
+
+def test_step_daemons_false_runs_foreground_events():
+    sim = Simulator()
+    out = []
+    sim.schedule_daemon(1.0, out.append, "daemon")
+    sim.schedule(2.0, out.append, "fg")
+    # A foreground event exists, so stepping proceeds — and takes the
+    # earliest event, daemon or not.
+    assert sim.step(daemons=False) is True
+    assert out == ["daemon"]
+    assert sim.step(daemons=False) is True
+    assert out == ["daemon", "fg"]
+    assert sim.step(daemons=False) is False
