@@ -275,6 +275,9 @@ class CausalStore(ConsistentStore):
     def snapshots(self) -> list[dict]:
         return self.cluster.snapshots()
 
+    def settle(self) -> None:
+        self.cluster.anti_entropy_sweep()
+
 
 # ---------------------------------------------------------------------------
 # PNUTS-style record timelines
@@ -372,6 +375,9 @@ class TimelineStore(ConsistentStore):
 
     def snapshots(self) -> list[dict]:
         return self.cluster.snapshots()
+
+    def settle(self) -> None:
+        self.cluster.anti_entropy_sweep()
 
 
 # ---------------------------------------------------------------------------
@@ -473,6 +479,10 @@ class BayouStore(ConsistentStore):
     description="single primary, async/sync/quorum backup acks",
     read_modes=("primary", "backup"),
     failover_reads=True,
+    # Linearizable only while every op funnels through the one
+    # primary: holds for single-attempt primary reads, not for reads
+    # that failed over to a possibly-stale backup.
+    linearizable_read_modes=("primary",),
 ))
 class PrimaryBackupStore(ConsistentStore):
     def __init__(
@@ -533,6 +543,9 @@ class PrimaryBackupStore(ConsistentStore):
     def snapshots(self) -> list[dict]:
         return self.cluster.snapshots()
 
+    def settle(self) -> None:
+        self.cluster.anti_entropy_sweep()
+
 
 # ---------------------------------------------------------------------------
 # Chain replication
@@ -544,6 +557,7 @@ class PrimaryBackupStore(ConsistentStore):
     description="chain replication: writes at head, linearizable tail reads",
     read_modes=("tail",),
     survives_replica_crash=False,
+    linearizable_read_modes=("tail",),
 ))
 class ChainStore(ConsistentStore):
     def __init__(
@@ -593,6 +607,9 @@ class ChainStore(ConsistentStore):
     def snapshots(self) -> list[dict]:
         return self.cluster.snapshots()
 
+    def settle(self) -> None:
+        self.cluster.anti_entropy_sweep()
+
 
 # ---------------------------------------------------------------------------
 # Multi-Paxos
@@ -603,6 +620,7 @@ class ChainStore(ConsistentStore):
     name="multipaxos",
     description="consensus-replicated KV log; linearizable log reads",
     read_modes=("log", "local"),
+    linearizable_read_modes=("log",),
 ))
 class MultiPaxosStore(ConsistentStore):
     """Builds the group *and runs the leader election to completion*
@@ -663,6 +681,9 @@ class MultiPaxosStore(ConsistentStore):
     def snapshots(self) -> list[dict]:
         return self.cluster.snapshots()
 
+    def settle(self) -> None:
+        self.cluster.catch_up()
+
 
 # ---------------------------------------------------------------------------
 # Pileus consistency SLAs (over a timeline cluster)
@@ -686,6 +707,14 @@ class FixedTargetSLAClient(SLAClient):
     description="per-read consistency SLAs over a timeline store",
     read_modes=("sla",),
     session_guarantees=("ryw", "mr"),
+    chaos_waivers=(
+        ("ryw", "SLA reads degrade to the eventual subclause by design "
+         "when stronger targets are partitioned away, so read-my-writes "
+         "is best-effort under faults (Pileus trades it for latency)"),
+        ("mr", "same SLA degradation: a read served by a laggard "
+         "replica after the preferred target drops out may move the "
+         "session backwards"),
+    ),
 ))
 class PileusStore(ConsistentStore):
     def __init__(
@@ -745,3 +774,6 @@ class PileusStore(ConsistentStore):
 
     def snapshots(self) -> list[dict]:
         return self.cluster.snapshots()
+
+    def settle(self) -> None:
+        self.cluster.anti_entropy_sweep()

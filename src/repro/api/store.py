@@ -74,10 +74,31 @@ class StoreCapabilities:
     #: Retried writes rotate to other replicas (only protocols where
     #: any replica can coordinate or accept a write).
     failover_writes: bool = False
+    #: Read modes whose completed reads are linearizable; the chaos
+    #: conformance suite runs the linearizability checker on histories
+    #: recorded in these modes (empty = no linearizability claim).
+    linearizable_read_modes: tuple[str, ...] = ()
+    #: Replicas converge once faults heal and :meth:`ConsistentStore
+    #: .settle` quiesces the store — the liveness half of eventual
+    #: consistency, asserted by the chaos convergence check.
+    eventually_convergent: bool = True
+    #: Guarantees this adapter explicitly does *not* defend under
+    #: injected faults, as ``(guarantee, reason)`` pairs.  The chaos
+    #: runner reports them as WAIVED instead of failing — a waiver is
+    #: a documented design limitation, not a free pass: the reason is
+    #: printed in every verdict table.
+    chaos_waivers: tuple[tuple[str, str], ...] = ()
 
     @property
     def default_read_mode(self) -> str:
         return self.read_modes[0]
+
+    def waiver_for(self, guarantee: str) -> str | None:
+        """The documented waiver reason for ``guarantee``, if any."""
+        for name, reason in self.chaos_waivers:
+            if name == guarantee:
+                return reason
+        return None
 
 
 class StoreSession(ABC):

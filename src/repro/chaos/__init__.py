@@ -1,0 +1,50 @@
+"""Deterministic fault injection (nemesis) and chaos conformance.
+
+The subsystem ISSUE 5 adds: seeded fault plans
+(:class:`FaultPlan`, :data:`PLANS`, :func:`random_plan`), the
+:class:`Nemesis` that executes them as simulation events, and the
+:class:`ChaosRunner` that drives every registered store adapter
+through a plan and checks its declared guarantees.
+"""
+
+from .nemesis import Nemesis
+from .plan import (
+    FAULTS,
+    PARTITION_SHAPES,
+    PLANS,
+    FaultPlan,
+    FaultStep,
+    random_plan,
+    step,
+)
+from .runner import (
+    FAIL,
+    PASS,
+    TUNING,
+    UNKNOWN,
+    WAIVED,
+    ChaosRunner,
+    CheckResult,
+    ProtocolReport,
+    format_reports,
+)
+
+__all__ = [
+    "FAULTS",
+    "PARTITION_SHAPES",
+    "PLANS",
+    "FaultPlan",
+    "FaultStep",
+    "step",
+    "random_plan",
+    "Nemesis",
+    "ChaosRunner",
+    "CheckResult",
+    "ProtocolReport",
+    "format_reports",
+    "TUNING",
+    "PASS",
+    "FAIL",
+    "UNKNOWN",
+    "WAIVED",
+]

@@ -1,0 +1,280 @@
+"""Chaos conformance: run every adapter under a fault plan, check its claims.
+
+For each registered protocol the runner builds a fresh seeded
+simulator, drives a YCSB-style closed-loop workload while a
+:class:`~repro.chaos.Nemesis` executes the fault plan, then stops the
+nemesis, heals, quiesces (``store.settle()``), and asserts exactly the
+guarantees the adapter's :class:`~repro.api.StoreCapabilities`
+declares:
+
+* convergence after heal — every store with ``eventually_convergent``;
+* linearizability — when the chaos read mode is in
+  ``linearizable_read_modes``;
+* each claimed session guarantee — unless ``chaos_waivers`` names it
+  (waivers surface as WAIVED rows with their documented reason, never
+  as silent skips).
+
+Every run is traced through a :class:`~repro.perf.HashingTracer`, so
+a protocol's chaos run has a fingerprint: same seed + same plan ⇒
+byte-identical trace, which the CLI and CI verify back-to-back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..api import registry
+from ..checkers import (
+    check_convergence,
+    check_linearizability,
+    check_monotonic_reads,
+    check_monotonic_writes,
+    check_read_your_writes,
+    check_writes_follow_reads,
+)
+from ..perf.harness import HashingTracer
+from ..sim import FixedLatency, Network, Simulator
+from ..workload import WorkloadDriver, YCSBWorkload
+from .nemesis import Nemesis
+from .plan import PLANS, FaultPlan
+
+#: Statuses a conformance check can land on.
+PASS, FAIL, UNKNOWN, WAIVED = "pass", "fail", "unknown", "waived"
+
+SESSION_CHECKERS = {
+    "ryw": check_read_your_writes,
+    "mr": check_monotonic_reads,
+    "mw": check_monotonic_writes,
+    "wfr": check_writes_follow_reads,
+}
+
+#: Per-protocol knobs for the conformance workload: which read mode
+#: the run records (the linearizable one where claimed), and session
+#: options.  Everything else is uniform across protocols.
+TUNING: dict[str, dict[str, Any]] = {
+    "quorum": {"read_mode": "quorum"},
+    "quorum_siblings": {"read_mode": "quorum"},
+    "causal": {"read_mode": "local"},
+    "timeline": {"read_mode": "critical"},
+    "bayou": {"read_mode": "tentative"},
+    "primary_backup": {"read_mode": "primary"},
+    "chain": {"read_mode": "tail"},
+    "multipaxos": {"read_mode": "log"},
+    "pileus": {"read_mode": "sla"},
+}
+
+
+@dataclass
+class CheckResult:
+    """One guarantee's verdict for one protocol."""
+
+    guarantee: str
+    status: str                   # pass | fail | unknown | waived
+    detail: str = ""
+    checked_ops: int = 0
+
+
+@dataclass
+class ProtocolReport:
+    """One protocol's full chaos-conformance outcome."""
+
+    protocol: str
+    plan: str
+    seed: int
+    fingerprint: str
+    ops_ok: int = 0
+    ops_failed: int = 0
+    results: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.status != FAIL for r in self.results)
+
+
+class ChaosRunner:
+    """Runs the chaos conformance suite over registered adapters."""
+
+    def __init__(
+        self,
+        seed: int = 42,
+        plan: FaultPlan | str = "partitions",
+        protocols: list[str] | None = None,
+        nodes: int = 5,
+        clients: int = 3,
+        ops: int = 120,
+        op_timeout: float = 250.0,
+        think_time: float = 2.0,
+        preset: str = "A",
+        records: int = 24,
+        final_heal: bool = True,
+    ) -> None:
+        self.seed = seed
+        self.plan = PLANS[plan] if isinstance(plan, str) else plan
+        self.protocols = protocols if protocols is not None \
+            else registry.names()
+        self.nodes = nodes
+        self.clients = clients
+        self.ops = ops
+        self.op_timeout = op_timeout
+        self.think_time = think_time
+        self.preset = preset
+        self.records = records
+        self.final_heal = final_heal
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[ProtocolReport]:
+        return [self.run_protocol(name) for name in self.protocols]
+
+    def run_protocol(self, name: str) -> ProtocolReport:
+        """One protocol's chaos run, isolated in a fresh simulator."""
+        spec = registry.get(name)
+        tuning = TUNING.get(name, {})
+        tracer = HashingTracer()
+        sim = Simulator(self.seed, tracer=tracer)
+        network = Network(sim, latency=FixedLatency(2.0))
+        store = spec.build(sim, network, nodes=self.nodes,
+                           **tuning.get("build", {}))
+
+        workload = YCSBWorkload(self.preset, records=self.records,
+                                seed=self.seed)
+        driver = WorkloadDriver(sim)
+        driver.add_clients(
+            store, self.clients, workload.take(self.ops),
+            session_opts=tuning.get("session_opts"),
+            read_mode=tuning.get("read_mode"),
+            timeout=self.op_timeout,
+            think_time=self.think_time,
+        )
+
+        nemesis = Nemesis(self.plan, seed=self.seed)
+        nemesis.install(store)
+        result = driver.run()
+        nemesis.stop()
+        if self.final_heal:
+            nemesis.heal_all()
+            sim.run()
+            # Two settle rounds: the first syncs data, the second lets
+            # derived state (commit orders, cascaded installs) close.
+            store.settle()
+            sim.run()
+            store.settle()
+            sim.run()
+
+        report = ProtocolReport(
+            protocol=name,
+            plan=self.plan.name,
+            seed=self.seed,
+            fingerprint=tracer.hexdigest(),
+            ops_ok=result.ops_ok,
+            ops_failed=result.ops_failed,
+        )
+        report.results = self._check(spec.capabilities, store, result, tuning)
+        return report
+
+    # ------------------------------------------------------------------
+    def _check(self, caps, store, result, tuning) -> list[CheckResult]:
+        checks: list[CheckResult] = []
+        checks.append(self._check_convergence(caps, store))
+        mode = tuning.get("read_mode") or caps.default_read_mode
+        if mode in caps.linearizable_read_modes:
+            checks.append(self._checker_result(
+                caps, "linearizable",
+                lambda: check_linearizability(result.history),
+            ))
+        for guarantee in caps.session_guarantees:
+            checks.append(self._checker_result(
+                caps, guarantee,
+                lambda g=guarantee: SESSION_CHECKERS[g](result.history),
+            ))
+        return checks
+
+    def _check_convergence(self, caps, store) -> CheckResult:
+        if not caps.eventually_convergent:
+            waiver = caps.waiver_for("convergence")
+            if waiver:
+                return CheckResult("convergence", WAIVED, waiver)
+            return CheckResult(
+                "convergence", UNKNOWN, "not claimed by capabilities"
+            )
+        if not self.final_heal and (
+            self.plan.ends_partitioned()
+            or any(s.fault in ("crash", "partition", "drop", "slow_link")
+                   for s in self.plan.steps)
+        ):
+            return CheckResult(
+                "convergence", UNKNOWN,
+                "run ended mid-fault without a final heal; convergence "
+                "is not assessable",
+            )
+        verdict = check_convergence(store.snapshots())
+        if verdict.ok:
+            return CheckResult("convergence", PASS,
+                               checked_ops=verdict.checked_ops)
+        return CheckResult(
+            "convergence", FAIL,
+            "; ".join(str(v) for v in verdict.violations[:3]),
+            verdict.checked_ops,
+        )
+
+    def _checker_result(self, caps, guarantee, run_checker) -> CheckResult:
+        waiver = caps.waiver_for(guarantee)
+        if waiver is None and guarantee in SESSION_CHECKERS:
+            # A blanket "session" waiver covers all four guarantees.
+            waiver = caps.waiver_for("session")
+        if waiver:
+            return CheckResult(guarantee, WAIVED, waiver)
+        verdict = run_checker()
+        if verdict.checked_ops == 0:
+            return CheckResult(
+                guarantee, UNKNOWN, "vacuous: no checkable operations"
+            )
+        if verdict.ok:
+            return CheckResult(guarantee, PASS,
+                               checked_ops=verdict.checked_ops)
+        return CheckResult(
+            guarantee, FAIL,
+            "; ".join(str(v) for v in verdict.violations[:3]),
+            verdict.checked_ops,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def format_reports(reports: list[ProtocolReport]) -> str:
+    """The per-protocol verdict table ``repro chaos`` prints."""
+    lines = []
+    if reports:
+        lines.append(
+            f"chaos conformance: plan={reports[0].plan} "
+            f"seed={reports[0].seed}"
+        )
+    header = f"{'protocol':<17}{'guarantee':<14}{'status':<9}detail"
+    lines.append(header)
+    lines.append("-" * max(48, len(header)))
+    for report in reports:
+        ops = f"ok={report.ops_ok} failed={report.ops_failed}"
+        lines.append(
+            f"{report.protocol:<17}{'(workload)':<14}{'':<9}{ops} "
+            f"fp={report.fingerprint[:12]}"
+        )
+        for check in report.results:
+            detail = check.detail
+            if check.status == PASS and check.checked_ops:
+                detail = f"{check.checked_ops} ops checked"
+            if len(detail) > 60:
+                detail = detail[:57] + "..."
+            lines.append(
+                f"{'':<17}{check.guarantee:<14}{check.status.upper():<9}"
+                f"{detail}"
+            )
+    failed = [r.protocol for r in reports if not r.ok]
+    lines.append("-" * max(48, len(header)))
+    if failed:
+        lines.append(f"FAIL: {', '.join(failed)}")
+    else:
+        lines.append(f"PASS: {len(reports)} protocol(s) conform")
+    return "\n".join(lines)

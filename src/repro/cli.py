@@ -10,6 +10,8 @@ Commands
                         (built through the registry + workload driver)
 ``trace <file.jsonl>``  print a filtered timeline + summary of a sim trace
 ``bench``               run the seeded macro perf suite (BENCH_CORE.json)
+``chaos``               run the nemesis conformance suite: every adapter
+                        under a seeded fault plan, checker verdict table
 ``selftest``            import every module and run a smoke simulation
 
 The heavyweight experiment tables live in ``benchmarks/`` (run with
@@ -297,6 +299,64 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos conformance suite and print the verdict table.
+
+    Exit status: 0 when every protocol's declared guarantees hold (or
+    are explicitly waived), 1 on any checker FAIL, 2 on bad arguments.
+    """
+    from .api import registry
+    from .chaos import PLANS, ChaosRunner, format_reports, random_plan
+
+    if args.list:
+        for name, plan in sorted(PLANS.items()):
+            faults = ", ".join(
+                sorted({plan_step.fault for plan_step in plan.steps})
+            )
+            print(f"{name:<12} {len(plan.steps)} steps: {faults}")
+        return 0
+
+    if args.plan == "random":
+        plan = random_plan(args.seed, intensity=args.intensity)
+    elif args.plan in PLANS:
+        plan = PLANS[args.plan]
+    else:
+        print(f"unknown plan {args.plan!r}; available: "
+              f"{', '.join(sorted(PLANS))}, random", file=sys.stderr)
+        return 2
+    unknown = [p for p in args.protocol if p not in registry.names()]
+    if unknown:
+        print(f"unknown protocol(s): {', '.join(unknown)}; available: "
+              f"{', '.join(registry.names())}", file=sys.stderr)
+        return 2
+
+    runner = ChaosRunner(
+        seed=args.seed,
+        plan=plan,
+        protocols=args.protocol or None,
+        nodes=args.nodes,
+        clients=args.clients,
+        ops=args.ops,
+    )
+    reports = runner.run()
+    print(format_reports(reports))
+
+    if args.check_determinism:
+        again = {r.protocol: r.fingerprint for r in runner.run()}
+        first = {r.protocol: r.fingerprint for r in reports}
+        if first != again:
+            drifted = sorted(
+                name for name in first if first[name] != again.get(name)
+            )
+            print(f"\nFAIL: nondeterministic trace fingerprint for "
+                  f"{', '.join(drifted)}", file=sys.stderr)
+            return 1
+        print(f"\ndeterminism: {len(first)} protocol(s) reproduced "
+              f"identical fingerprints on a second run")
+
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def cmd_selftest(_args: argparse.Namespace) -> int:
     import pkgutil
 
@@ -414,6 +474,35 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument("--list", action="store_true",
                               help="list scenarios and exit")
 
+    chaos_parser = sub.add_parser(
+        "chaos", help="nemesis conformance suite: fault plan + checkers"
+    )
+    chaos_parser.add_argument("--seed", type=int, default=42)
+    chaos_parser.add_argument(
+        "--plan", default="partitions",
+        help="fault plan name, or 'random' for a seeded random plan "
+             "(default: partitions; see --list)",
+    )
+    chaos_parser.add_argument(
+        "--protocol", action="append", default=[],
+        help="run only this adapter (repeatable; default: all registered)",
+    )
+    chaos_parser.add_argument("--nodes", type=int, default=5)
+    chaos_parser.add_argument("--clients", type=int, default=3)
+    chaos_parser.add_argument("--ops", type=int, default=120,
+                              help="workload length per protocol")
+    chaos_parser.add_argument(
+        "--intensity", type=float, default=0.5,
+        help="fault density for --plan random (0..1, default 0.5)",
+    )
+    chaos_parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="run the whole suite twice and fail on any trace "
+             "fingerprint drift",
+    )
+    chaos_parser.add_argument("--list", action="store_true",
+                              help="list built-in fault plans and exit")
+
     sub.add_parser("selftest", help="import everything + smoke simulation")
 
     args = parser.parse_args(argv)
@@ -425,6 +514,7 @@ def main(argv: list[str] | None = None) -> int:
         "spectrum": cmd_spectrum,
         "trace": cmd_trace,
         "bench": cmd_bench,
+        "chaos": cmd_chaos,
         "selftest": cmd_selftest,
     }
     return handlers[args.command](args)

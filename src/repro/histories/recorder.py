@@ -68,8 +68,12 @@ class HistoryRecorder:
         self._ops.append(op)
         return op
 
-    def fail(self, handle: int) -> Operation:
-        """Record an operation that never produced a response."""
+    def fail(self, handle: int, value: Any = None) -> Operation:
+        """Record an operation that never produced a response.
+
+        ``value`` is the value a write *attempted* — kept on the op so
+        checkers can tie a later read of that value back to this
+        maybe-applied write."""
         pending = self._pending.pop(handle)
         op = Operation(
             kind=pending.kind,
@@ -78,6 +82,7 @@ class HistoryRecorder:
             session=pending.session,
             start=pending.start,
             end=None,
+            value=value,
             replica=pending.replica,
         )
         self._ops.append(op)
@@ -146,20 +151,31 @@ class TokenHistoryRecorder(HistoryRecorder):
             )
         )
 
-    def fail(self, handle: int) -> None:  # type: ignore[override]
-        """Record an operation that never produced a response."""
+    def fail(  # type: ignore[override]
+        self, handle: int, value: Any = None
+    ) -> None:
+        """Record an operation that never produced a response.
+        ``value`` is a write's attempted value (see below)."""
         pending = self._pending.pop(handle)
         self._token_ops.append(
             _TokenOp(
                 pending.kind, pending.key, pending.session, pending.start,
-                None, None, None, pending.replica,
+                None, None, value, pending.replica,
             )
         )
 
     def history(self) -> History:
         """Densify tokens into per-key versions; reads contribute their
         observed tokens too, so writes that timed out client-side but
-        landed on replicas still rank consistently."""
+        landed on replicas still rank consistently.
+
+        A failed write carries no token (the server assigns it), but if
+        a completed op later *observed* the write's attempted value, the
+        write's version is inferred from that observation — otherwise a
+        read of a maybe-applied write is an orphan version no write op
+        explains, and the linearizability checker reports a phantom
+        violation.  Inference only fires when the value maps to exactly
+        one version for the key (workload values are unique)."""
         tokens_by_key: dict[Hashable, set] = {}
         for raw in self._token_ops:
             if raw.token is not None:
@@ -168,11 +184,25 @@ class TokenHistoryRecorder(HistoryRecorder):
         for key, tokens in tokens_by_key.items():
             for index, token in enumerate(sorted(tokens), start=1):
                 rank[(key, token)] = index
+        ambiguous = object()
+        seen_versions: dict[tuple[Hashable, Any], Any] = {}
+        for raw in self._token_ops:
+            if raw.token is None or raw.value is None:
+                continue
+            observed = (raw.key, raw.value)
+            version = rank[(raw.key, raw.token)]
+            if seen_versions.setdefault(observed, version) != version:
+                seen_versions[observed] = ambiguous
         ops = list(self._ops)
         for raw in self._token_ops:
             version = 0
             if raw.token is not None:
                 version = rank.get((raw.key, raw.token), 0)
+            elif raw.end is None and raw.kind == "write" \
+                    and raw.value is not None:
+                inferred = seen_versions.get((raw.key, raw.value))
+                if isinstance(inferred, int):
+                    version = inferred
             ops.append(
                 Operation(
                     kind=raw.kind,

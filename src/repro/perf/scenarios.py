@@ -25,6 +25,11 @@ ShardedStore` (hash-ring routing, per-node service time) — adds
 ``crdt_merge_storm``
     Gossip rounds over OR-Set + G-Counter replicas where every ship is
     ``state.copy()`` + ``merge`` — the CRDT clone/merge path.
+``quorum_chaos``
+    YCSB-A on the quorum store while a :class:`~repro.chaos.Nemesis`
+    executes the ``mixed`` fault plan — partitions, crashes, drops and
+    clock skew on top of the event loop, plus the timeout/recovery
+    paths the healthy scenarios never touch.
 """
 
 from __future__ import annotations
@@ -92,6 +97,28 @@ def _run_multipaxos(seed: int, quick: bool, tracer: Any = None) -> ScenarioOutco
     workload = YCSBWorkload("A", records=200, seed=seed + 1)
     result = run_workload(store, workload.take(ops), clients=clients,
                           timeout=120_000.0)
+    return ScenarioOutcome(sim, result.ops_ok)
+
+
+def _run_quorum_chaos(seed: int, quick: bool, tracer: Any = None) -> ScenarioOutcome:
+    # Imported here: repro.chaos pulls in repro.perf.harness for its
+    # fingerprints, so a module-level import would be circular.
+    from ..chaos import PLANS, Nemesis
+
+    ops, clients = (300, 6) if quick else (2000, 16)
+    sim = Simulator(seed=seed, tracer=tracer)
+    net = Network(sim, latency=ExponentialLatency(base=0.3, mean=1.0))
+    store = registry.build("quorum", sim, net, nodes=5, r=2, w=2)
+    workload = YCSBWorkload("A", records=500, seed=seed + 1)
+    nemesis = Nemesis(PLANS["mixed"], seed=seed)
+    # The tight per-op timeout is the point: faults make ops fail, and
+    # the timeout/cleanup machinery is the path being measured.
+    result = run_workload(store, workload.take(ops), clients=clients,
+                          timeout=400.0, nemesis=nemesis)
+    nemesis.heal_all()
+    sim.run()
+    store.settle()
+    sim.run()
     return ScenarioOutcome(sim, result.ops_ok)
 
 
@@ -169,6 +196,11 @@ SCENARIOS: dict[str, Scenario] = {
             "crdt_merge_storm",
             "gossip rounds of ORSet+GCounter snapshot copy+merge",
             _run_crdt_merge_storm,
+        ),
+        Scenario(
+            "quorum_chaos",
+            "YCSB-A on the quorum store under the mixed nemesis fault plan",
+            _run_quorum_chaos,
         ),
     )
 }

@@ -80,6 +80,10 @@ class CausalReplica(ServerNode):
         self.cluster = cluster
         self.buffer = CausalBuffer(node_id, self._apply)
         self.data: dict[Hashable, tuple[Any, Rank]] = {}
+        #: Every envelope this replica has applied, in application
+        #: order — the anti-entropy exchange set.  Replays are cheap:
+        #: :class:`CausalBuffer` drops duplicates by vector clock.
+        self.applied_log: list[OpEnvelope] = []
 
     # -- client-facing -----------------------------------------------------
     def serve_CPutLocal(self, src: Hashable, payload: CPutLocal):
@@ -104,6 +108,7 @@ class CausalReplica(ServerNode):
     def _apply(self, envelope: OpEnvelope) -> None:
         payload: _WritePayload = envelope.payload
         rank = _rank_of(envelope)
+        self.applied_log.append(envelope)
         self.cluster._c_ops_applied.inc()
         current = self.data.get(payload.key)
         if current is None or rank > current[1]:
@@ -264,6 +269,29 @@ class CausalCluster:
 
     def snapshots(self) -> list[dict]:
         return [replica.snapshot() for replica in self.replicas]
+
+    def anti_entropy_sweep(self) -> None:
+        """Instantaneous pairwise exchange of applied logs until a
+        fixpoint: each live replica replays everything it has applied
+        into every other live replica's causal buffer (duplicates are
+        dropped by vector clock; hold-back delivers in causal order).
+        Used by the chaos runner to quiesce after healing — the causal
+        broadcast sends each write exactly once, so writes broadcast
+        into a partition are otherwise lost forever."""
+        while True:
+            before = sum(len(r.applied_log) for r in self.replicas
+                         if not r.crashed)
+            for source in self.replicas:
+                if source.crashed:
+                    continue
+                for envelope in list(source.applied_log):
+                    for target in self.replicas:
+                        if target is not source and not target.crashed:
+                            target.buffer.receive(envelope)
+            after = sum(len(r.applied_log) for r in self.replicas
+                        if not r.crashed)
+            if after == before:
+                return
 
     def pending_total(self) -> int:
         """Writes still held back waiting for causal dependencies."""

@@ -202,3 +202,17 @@ class ChainCluster:
 
     def snapshots(self) -> list[dict]:
         return [replica.snapshot() for replica in self.replicas]
+
+    def anti_entropy_sweep(self) -> None:
+        """Instantaneous chain repair between live replicas: flood
+        every record through the version-guarded ``_install`` path so
+        the per-key max version wins everywhere.  A ``ChainForward``
+        dropped by a partition is never re-sent, so the chaos runner
+        calls this after healing to restore the chain invariant."""
+        for source in self.replicas:
+            if source.crashed:
+                continue
+            for key, (value, version) in list(source.data.items()):
+                for target in self.replicas:
+                    if target is not source and not target.crashed:
+                        target._install(key, value, version)

@@ -424,3 +424,21 @@ class MultiPaxosCluster:
 
     def snapshots(self) -> list[dict]:
         return [replica.snapshot() for replica in self.replicas]
+
+    def catch_up(self) -> None:
+        """Instantaneous log repair: union every replica's committed
+        slots (crashed replicas included — the commit log is durable)
+        and feed the union to each live replica via ``_commit``, which
+        applies the contiguous prefix.  Slots never committed anywhere
+        stay gaps and stall application identically on every replica,
+        so replicas still agree after the sweep."""
+        union: dict[int, Any] = {}
+        for replica in self.replicas:
+            union.update(replica.committed)
+        for replica in self.replicas:
+            if replica.crashed:
+                continue
+            for slot in sorted(union):
+                if slot not in replica.committed:
+                    replica._commit(slot, union[slot])
+            replica._apply_ready()

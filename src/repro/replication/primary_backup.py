@@ -266,3 +266,20 @@ class PrimaryBackupCluster:
 
     def snapshots(self) -> list[dict]:
         return [replica.snapshot() for replica in self.replicas]
+
+    def anti_entropy_sweep(self) -> None:
+        """Instantaneous catch-up between live replicas: flood every
+        record through the version-guarded ``apply`` path so the
+        per-key max version wins everywhere.  Replication ships each
+        write once — a ``ReplicateMsg`` dropped by a partition is
+        never re-sent, so the chaos runner calls this after healing."""
+        for source in self.replicas:
+            if source.crashed:
+                continue
+            for key, (value, version) in list(source.data.items()):
+                for target in self.replicas:
+                    if target is not source and not target.crashed:
+                        target.apply(key, value, version)
+                        target._versions[key] = max(
+                            target._versions.get(key, 0), version
+                        )

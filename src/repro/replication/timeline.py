@@ -307,3 +307,18 @@ class TimelineCluster:
 
     def snapshots(self) -> list[dict]:
         return [replica.snapshot() for replica in self.replicas]
+
+    def anti_entropy_sweep(self) -> None:
+        """Instantaneous state exchange between live replicas: every
+        record flows to every replica through the version-guarded
+        install path, so the per-key max version wins everywhere.
+        Timeline propagation sends each write once — a propagation
+        dropped by a partition never re-sends, so the chaos runner
+        calls this after healing to quiesce."""
+        for source in self.replicas:
+            if source.crashed:
+                continue
+            for key, (value, version) in list(source.data.items()):
+                for target in self.replicas:
+                    if target is not source and not target.crashed:
+                        target._install(key, value, version)

@@ -13,6 +13,7 @@ from .network import (
     ExponentialLatency,
     FixedLatency,
     LatencyModel,
+    LinkFault,
     LogNormalLatency,
     MatrixLatency,
     Network,
@@ -40,6 +41,7 @@ __all__ = [
     "EventQueue",
     "Network",
     "NetworkStats",
+    "LinkFault",
     "LatencyModel",
     "FixedLatency",
     "UniformLatency",

@@ -12,6 +12,7 @@ a node's own id is allowed (loopback) and uses ``loopback_latency``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable, Protocol
 
 from ..analysis.registry import MetricsRegistry
@@ -200,6 +201,7 @@ class NetworkStats:
         "messages_delivered",
         "messages_dropped_loss",
         "messages_dropped_partition",
+        "messages_dropped_link",
         "messages_dropped_crash",
         "messages_duplicated",
         "bytes_sent",
@@ -232,6 +234,10 @@ class NetworkStats:
     @property
     def messages_dropped_partition(self) -> int:
         return self._messages_dropped_partition.value
+
+    @property
+    def messages_dropped_link(self) -> int:
+        return self._messages_dropped_link.value
 
     @property
     def messages_dropped_crash(self) -> int:
@@ -268,6 +274,28 @@ class NetworkStats:
 
     def record_type(self, message: Any) -> None:
         self.counter_for_type(type(message)).inc()
+
+
+@dataclass
+class LinkFault:
+    """Degradation applied to one (unordered) node pair.
+
+    ``down`` severs the link outright; ``drop_rate`` loses a fraction
+    of its messages; ``extra_delay`` (ms) slows every delivery.  All
+    three are injected by the chaos nemesis (``slow_link`` /
+    ``drop_rate`` bursts, ring/bridge partitions) and counted under the
+    dedicated ``net.messages_dropped_link`` counter — never folded into
+    the generic ``loss`` bucket, so chaos assertions can tell injected
+    faults from background noise.
+    """
+
+    down: bool = False
+    drop_rate: float = 0.0
+    extra_delay: float = 0.0
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.down and self.drop_rate <= 0 and self.extra_delay <= 0
 
 
 class Network:
@@ -312,6 +340,9 @@ class Network:
         self.stats = NetworkStats(sim.metrics)
         self._nodes: dict[NodeId, Any] = {}
         self._partition: dict[NodeId, int] | None = None
+        # Per-pair fault state, keyed by frozenset({a, b}); empty in
+        # healthy runs so the send hot path pays one truthiness check.
+        self._link_faults: dict[frozenset, LinkFault] = {}
         self._samplers: dict[tuple[NodeId, NodeId], Callable[[Any], float]] = {}
         # Bound counter methods + per-class inc cache: send()/_deliver()
         # run once per message, so even a counter attribute walk is
@@ -386,13 +417,73 @@ class Network:
         self._partition = None
 
     def reachable(self, src: NodeId, dst: NodeId) -> bool:
-        if self._partition is None or src == dst:
+        if src == dst:
             return True
-        return self._partition.get(src) == self._partition.get(dst)
+        if (
+            self._partition is not None
+            and self._partition.get(src) != self._partition.get(dst)
+        ):
+            return False
+        if self._link_faults:
+            fault = self._link_faults.get(frozenset((src, dst)))
+            if fault is not None and fault.down:
+                return False
+        return True
 
     @property
     def partitioned(self) -> bool:
         return self._partition is not None
+
+    # ------------------------------------------------------------------
+    # Link faults (chaos nemesis hooks)
+    # ------------------------------------------------------------------
+    def set_link_fault(
+        self,
+        a: NodeId,
+        b: NodeId,
+        down: bool = False,
+        drop_rate: float = 0.0,
+        extra_delay: float = 0.0,
+    ) -> None:
+        """Degrade the (symmetric) link between ``a`` and ``b``.
+
+        Passing all defaults clears the pair's fault.  Messages lost to
+        a faulted link are counted in ``net.messages_dropped_link`` and
+        traced with reason ``link_down`` / ``link_loss`` — dedicated
+        accounting, distinct from partition and random-loss drops.
+        """
+        if a not in self._nodes:
+            raise NetworkError(f"unknown node {a!r} in link fault")
+        if b not in self._nodes:
+            raise NetworkError(f"unknown node {b!r} in link fault")
+        if not 0 <= drop_rate < 1:
+            raise NetworkError("link drop_rate must be in [0, 1)")
+        if extra_delay < 0:
+            raise NetworkError("link extra_delay must be non-negative")
+        key = frozenset((a, b))
+        fault = LinkFault(down=down, drop_rate=drop_rate,
+                          extra_delay=extra_delay)
+        if fault.is_noop:
+            self._link_faults.pop(key, None)
+        else:
+            self._link_faults[key] = fault
+
+    def link_fault(self, a: NodeId, b: NodeId) -> LinkFault | None:
+        """The pair's current fault, or ``None`` when healthy."""
+        if not self._link_faults:
+            return None
+        return self._link_faults.get(frozenset((a, b)))
+
+    def clear_link_fault(self, a: NodeId, b: NodeId) -> None:
+        self._link_faults.pop(frozenset((a, b)), None)
+
+    def clear_link_faults(self) -> None:
+        """Restore every degraded link (the nemesis ``heal``)."""
+        self._link_faults.clear()
+
+    @property
+    def faulted_links(self) -> int:
+        return len(self._link_faults)
 
     # ------------------------------------------------------------------
     # Sending
@@ -436,12 +527,27 @@ class Network:
                 trace.record(sim.now, MSG_DROP, reason="crash",
                              src=src, dst=dst, msg_type=msg_name)
             return
-        if self._partition is not None and not self.reachable(src, dst):
+        if (
+            self._partition is not None
+            and src != dst
+            and self._partition.get(src) != self._partition.get(dst)
+        ):
             stats._messages_dropped_partition.inc()
             if tracing:
                 trace.record(sim.now, MSG_DROP, reason="partition",
                              src=src, dst=dst, msg_type=msg_name)
             return
+        fault = None
+        if self._link_faults and src != dst:
+            fault = self._link_faults.get(frozenset((src, dst)))
+            if fault is not None and fault.down:
+                # A severed link is its own failure mode with its own
+                # counter — not a partition, not random loss.
+                stats._messages_dropped_link.inc()
+                if tracing:
+                    trace.record(sim.now, MSG_DROP, reason="link_down",
+                                 src=src, dst=dst, msg_type=msg_name)
+                return
         copies = 1
         if self.duplicate_rate and sim.rng.random() < self.duplicate_rate:
             copies = 2
@@ -453,6 +559,13 @@ class Network:
                     trace.record(sim.now, MSG_DROP, reason="loss",
                                  src=src, dst=dst, msg_type=msg_name)
                 continue
+            if fault is not None and fault.drop_rate \
+                    and sim.rng.random() < fault.drop_rate:
+                stats._messages_dropped_link.inc()
+                if tracing:
+                    trace.record(sim.now, MSG_DROP, reason="link_loss",
+                                 src=src, dst=dst, msg_type=msg_name)
+                continue
             if src == dst:
                 delay = self.loopback_latency
             else:
@@ -461,6 +574,8 @@ class Network:
                     sampler = self._link_sampler(src, dst)
                     self._samplers[(src, dst)] = sampler
                 delay = sampler(sim.rng)
+                if fault is not None and fault.extra_delay > 0:
+                    delay += fault.extra_delay
             sim._push(sim.now + delay, self._deliver, (src, dst, message))
 
     def broadcast(self, src: NodeId, message: Any, include_self: bool = False) -> None:

@@ -29,6 +29,12 @@ class Node:
     dataclass) or by overriding :meth:`on_message` wholesale.
     """
 
+    #: Offset of this node's physical clock from simulated true time
+    #: (ms).  Injected by the chaos nemesis's ``clock_skew`` fault;
+    #: anything deriving wall-clock-flavored timestamps (HLCs, LWW
+    #: arbitration) should read :meth:`local_time`, never ``sim.now``.
+    clock_offset: float = 0.0
+
     def __init__(self, sim: Simulator, network: Network, node_id: Hashable) -> None:
         self.sim = sim
         self.network = network
@@ -38,6 +44,12 @@ class Node:
         self._timer_prune_at = 64
         self._handler_cache: dict[type, Callable[..., Any]] = {}
         network.register(self)
+
+    def local_time(self) -> float:
+        """The node's *physical* clock reading: true simulated time
+        plus this node's skew.  Event scheduling stays on true time —
+        skew affects what the node believes, not when it runs."""
+        return self.sim.now + self.clock_offset
 
     # ------------------------------------------------------------------
     # Sending

@@ -281,7 +281,9 @@ class WorkloadDriver:
         try:
             token = yield lane.session.put(key, value, timeout=lane.timeout)
         except ReproError:
-            self.recorder.fail(handle)
+            # Keep the attempted value: a timed-out write may still have
+            # landed, and history() ties later reads of it back here.
+            self.recorder.fail(handle, value=value)
             return False
         self.write_latency.record(self.sim.now - started)
         self.recorder.complete_token(handle, token, value)
@@ -296,12 +298,25 @@ def run_workload(
     recorder: TokenHistoryRecorder | None = None,
     until: float | None = None,
     retry: Any = None,
+    nemesis: Any = None,
     **lane_opts: Any,
 ) -> DriverResult:
     """One-call convenience: drive ``ops`` against ``store`` and return
     the :class:`DriverResult`.  ``retry`` applies one
-    :class:`repro.rpc.RetryPolicy` across the whole client pool."""
+    :class:`repro.rpc.RetryPolicy` across the whole client pool.
+
+    ``nemesis`` — a :class:`repro.chaos.Nemesis` (or anything with
+    ``install(store)``/``stop()``) — is installed before the run and
+    stopped after it, so its fault plan executes alongside the
+    workload.  Healing and settling are left to the caller: what
+    post-fault recovery means is protocol- and checker-specific.
+    """
     driver = WorkloadDriver(store.sim, recorder=recorder)
     driver.add_clients(store, clients, ops, session_opts=session_opts,
                        retry=retry, **lane_opts)
-    return driver.run(until)
+    if nemesis is not None:
+        nemesis.install(store)
+    result = driver.run(until)
+    if nemesis is not None:
+        nemesis.stop()
+    return result

@@ -1,0 +1,195 @@
+"""Chaos conformance: runner verdicts, edge cases, seed sweep, txn invariants."""
+
+import pytest
+
+from repro.chaos import (
+    FAIL,
+    PASS,
+    UNKNOWN,
+    WAIVED,
+    ChaosRunner,
+    FaultPlan,
+    format_reports,
+    step,
+)
+from repro.checkers import check_convergence, check_linearizability
+from repro.errors import InvariantViolation
+from repro.histories import History
+from repro.sim import FixedLatency, Network, Simulator, spawn
+from repro.txn import EscrowCounter, RedBlueBank
+
+
+def statuses(report):
+    return {r.guarantee: r.status for r in report.results}
+
+
+# ----------------------------------------------------------------------
+# Conformance sweep (satellite: seeds trimmed to 3 for tier-1)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_seed_sweep_every_protocol_conforms(seed):
+    reports = ChaosRunner(seed=seed, plan="partitions", ops=80).run()
+    for report in reports:
+        failed = [(r.guarantee, r.detail) for r in report.results
+                  if r.status == FAIL]
+        assert report.ok, (report.protocol, failed)
+
+
+def test_runner_fingerprints_are_reproducible():
+    runner = ChaosRunner(seed=9, plan="mixed",
+                         protocols=["quorum", "causal"], ops=60)
+    first = {r.protocol: r.fingerprint for r in runner.run()}
+    second = {r.protocol: r.fingerprint for r in runner.run()}
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# Edge cases (satellite: no crash, sensible verdicts)
+# ----------------------------------------------------------------------
+
+def test_empty_workload_is_vacuous_not_a_failure():
+    report = ChaosRunner(seed=1, plan="partitions",
+                         protocols=["multipaxos"], ops=0).run()[0]
+    verdicts = statuses(report)
+    assert verdicts["linearizable"] == UNKNOWN
+    assert verdicts["convergence"] in (PASS, UNKNOWN)
+    assert report.ok
+
+
+def test_single_op_history_checks_cleanly():
+    reports = ChaosRunner(seed=1, plan="partitions",
+                          protocols=["causal", "multipaxos"], ops=1).run()
+    for report in reports:
+        assert report.ok, statuses(report)
+
+
+def test_history_ending_mid_partition_is_unknown_not_fail():
+    plan = FaultPlan("split", (step("partition", at=30.0, shape="halves"),))
+    reports = ChaosRunner(seed=2, plan=plan, protocols=["quorum", "causal"],
+                          ops=60, final_heal=False).run()
+    for report in reports:
+        verdicts = statuses(report)
+        # Convergence cannot be assessed without a heal — UNKNOWN, and
+        # nothing may be reported as a violation.
+        assert verdicts["convergence"] == UNKNOWN
+        assert report.ok
+
+
+def test_checkers_accept_empty_history_directly():
+    empty = History([])
+    assert check_linearizability(empty).ok
+    assert check_linearizability(empty).checked_ops == 0
+    assert check_convergence({}).ok
+
+
+def test_waivers_surface_as_waived_rows_with_reason():
+    report = ChaosRunner(seed=42, plan="partitions",
+                         protocols=["pileus"], ops=40).run()[0]
+    waived = {r.guarantee: r for r in report.results if r.status == WAIVED}
+    assert set(waived) == {"ryw", "mr"}
+    for row in waived.values():
+        assert row.detail  # the documented reason, never a silent skip
+    assert report.ok
+
+
+def test_format_reports_renders_verdict_table():
+    reports = ChaosRunner(seed=42, plan="partitions",
+                          protocols=["pileus"], ops=40).run()
+    text = format_reports(reports)
+    assert "pileus" in text
+    assert "WAIVED" in text
+    assert text.strip().endswith("protocol(s) conform")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_chaos_smoke(capsys):
+    from repro.cli import main
+
+    code = main(["chaos", "--seed", "7", "--plan", "crashes",
+                 "--protocol", "quorum", "--ops", "30"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "quorum" in out
+    assert "convergence" in out
+
+
+def test_cli_chaos_rejects_unknown_plan_and_protocol(capsys):
+    from repro.cli import main
+
+    assert main(["chaos", "--plan", "nope"]) == 2
+    assert main(["chaos", "--protocol", "nope"]) == 2
+    assert main(["chaos", "--list"]) == 0
+    assert "partitions" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Escrow / RedBlue invariants under partition (satellite)
+# ----------------------------------------------------------------------
+
+def test_escrow_invariant_holds_under_partition():
+    sim = Simulator(seed=5)
+    net = Network(sim, latency=FixedLatency(10.0))
+    counter = EscrowCounter(sim, net, total=300.0, sites=3)  # 100 each
+    outcomes = []
+
+    def debits(i):
+        yield 20.0  # the partition is up by now
+        try:
+            yield counter.site(i).debit(80.0)  # within local allowance
+            outcomes.append(("local", i))
+        except InvariantViolation:
+            outcomes.append(("local-abort", i))
+        try:
+            yield counter.site(i).debit(50.0)  # needs a peer transfer
+            outcomes.append(("transfer", i))
+        except InvariantViolation:
+            outcomes.append(("transfer-abort", i))
+
+    def nemesis():
+        yield 10.0
+        net.partition(["esc0"], ["esc1"], ["esc2"])  # total isolation
+        yield 2_000.0
+        net.heal()
+
+    spawn(sim, nemesis())
+    for i in range(3):
+        spawn(sim, debits(i))
+    sim.run()
+    # In-allowance debits commit locally even fully partitioned;
+    # over-allowance debits abort once peer transfers time out.  No
+    # headroom is lost or double-spent: 300 - 3*80 = 60 remains.
+    assert sorted(o[0] for o in outcomes) == \
+        ["local"] * 3 + ["transfer-abort"] * 3
+    assert counter.global_headroom() == pytest.approx(60.0)
+    assert counter.global_headroom() >= 0.0
+
+
+def test_redblue_partition_blue_stays_available_red_stays_safe():
+    sim = Simulator(seed=6)
+    net = Network(sim, latency=FixedLatency(10.0))
+    bank = RedBlueBank(sim, net, sites=3)
+
+    def script():
+        yield bank.site(0).deposit("acct", 100.0)
+        yield 100.0  # let the deposit propagate everywhere
+        # Cut the sequencer off: blue ops must stay available, red ops
+        # must lose liveness, never safety.
+        net.partition(["site0", "site1", "site2"], ["red-seq"])
+        yield bank.site(1).deposit("acct", 25.0)  # blue: local commit
+        bank.site(2).withdraw("acct", 60.0)  # red: request is lost
+        yield 500.0
+        net.heal()
+
+    spawn(sim, script())
+    sim.run()
+    sim.run(until=sim.now + 500.0)
+    # Sites converge on deposits only — the partitioned red withdrawal
+    # never took effect anywhere (conservative), and the balance never
+    # went negative.
+    balance = bank.converged_balance("acct")
+    assert balance == pytest.approx(125.0)
+    assert balance >= 0.0
