@@ -42,10 +42,24 @@ from .store import (
 )
 
 
-def _apply_service_time(nodes, service_time: float) -> None:
-    if service_time > 0:
-        for node in nodes:
+def _tune_servers(
+    nodes,
+    service_time: float = 0.0,
+    queue_limit: int | None = None,
+    admission_rate: float | None = None,
+    admission_burst: float | None = None,
+) -> None:
+    """Apply capacity/overload knobs to a cluster's server nodes (see
+    :class:`repro.replication.common.ServerNode` for semantics)."""
+    for node in nodes:
+        if service_time > 0:
             node.service_time = service_time
+        if queue_limit is not None:
+            node.queue_limit = queue_limit
+        if admission_rate is not None:
+            node.admission_rate = admission_rate
+        if admission_burst is not None:
+            node.admission_burst = admission_burst
 
 
 def _apply_retry(client, session_retry, store_retry) -> None:
@@ -82,6 +96,9 @@ class QuorumStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        queue_limit: int | None = None,
+        admission_rate: float | None = None,
+        admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
@@ -90,7 +107,8 @@ class QuorumStore(ConsistentStore):
         self.cluster = DynamoCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
-        _apply_service_time(self.cluster.nodes, service_time)
+        _tune_servers(self.cluster.nodes, service_time, queue_limit,
+                      admission_rate, admission_burst)
 
     def session(
         self,
@@ -156,6 +174,9 @@ class SiblingQuorumStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        queue_limit: int | None = None,
+        admission_rate: float | None = None,
+        admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
@@ -164,7 +185,8 @@ class SiblingQuorumStore(ConsistentStore):
         self.cluster = SiblingDynamoCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
-        _apply_service_time(self.cluster.nodes, service_time)
+        _tune_servers(self.cluster.nodes, service_time, queue_limit,
+                      admission_rate, admission_burst)
 
     def session(
         self,
@@ -222,6 +244,9 @@ class CausalStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        queue_limit: int | None = None,
+        admission_rate: float | None = None,
+        admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
@@ -230,7 +255,8 @@ class CausalStore(ConsistentStore):
         self.cluster = CausalCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
-        _apply_service_time(self.cluster.replicas, service_time)
+        _tune_servers(self.cluster.replicas, service_time, queue_limit,
+                      admission_rate, admission_burst)
         self._next_home = 0
 
     def session(
@@ -299,6 +325,9 @@ class TimelineStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        queue_limit: int | None = None,
+        admission_rate: float | None = None,
+        admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
@@ -307,7 +336,8 @@ class TimelineStore(ConsistentStore):
         self.cluster = TimelineCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
-        _apply_service_time(self.cluster.replicas, service_time)
+        _tune_servers(self.cluster.replicas, service_time, queue_limit,
+                      admission_rate, admission_burst)
 
     def session(
         self,
@@ -492,6 +522,9 @@ class PrimaryBackupStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        queue_limit: int | None = None,
+        admission_rate: float | None = None,
+        admission_burst: float | None = None,
         mode: str = "async",
         retry: RetryPolicy | None = None,
         **kwargs: Any,
@@ -501,7 +534,8 @@ class PrimaryBackupStore(ConsistentStore):
         self.cluster = PrimaryBackupCluster(
             sim, network, n=nodes, mode=mode, node_ids=node_ids, **kwargs
         )
-        _apply_service_time(self.cluster.replicas, service_time)
+        _tune_servers(self.cluster.replicas, service_time, queue_limit,
+                      admission_rate, admission_burst)
 
     def session(
         self,
@@ -567,6 +601,9 @@ class ChainStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        queue_limit: int | None = None,
+        admission_rate: float | None = None,
+        admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
@@ -575,7 +612,8 @@ class ChainStore(ConsistentStore):
         self.cluster = ChainCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
-        _apply_service_time(self.cluster.replicas, service_time)
+        _tune_servers(self.cluster.replicas, service_time, queue_limit,
+                      admission_rate, admission_burst)
 
     def session(
         self,
@@ -634,6 +672,9 @@ class MultiPaxosStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        queue_limit: int | None = None,
+        admission_rate: float | None = None,
+        admission_burst: float | None = None,
         elect: bool = True,
         retry: RetryPolicy | None = None,
         **kwargs: Any,
@@ -643,7 +684,8 @@ class MultiPaxosStore(ConsistentStore):
         self.cluster = MultiPaxosCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
-        _apply_service_time(self.cluster.replicas, service_time)
+        _tune_servers(self.cluster.replicas, service_time, queue_limit,
+                      admission_rate, admission_burst)
         if elect:
             self.cluster.elect()
             sim.run()
@@ -724,6 +766,9 @@ class PileusStore(ConsistentStore):
         nodes: int = 3,
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,
+        queue_limit: int | None = None,
+        admission_rate: float | None = None,
+        admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> None:
@@ -732,7 +777,8 @@ class PileusStore(ConsistentStore):
         self.cluster = TimelineCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
-        _apply_service_time(self.cluster.replicas, service_time)
+        _tune_servers(self.cluster.replicas, service_time, queue_limit,
+                      admission_rate, admission_burst)
 
     def session(
         self,

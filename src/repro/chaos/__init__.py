@@ -28,6 +28,7 @@ from .runner import (
     ProtocolReport,
     format_reports,
 )
+from .storm import StormReport, StormRun, format_storm, run_storm
 
 __all__ = [
     "FAULTS",
@@ -47,4 +48,8 @@ __all__ = [
     "FAIL",
     "UNKNOWN",
     "WAIVED",
+    "StormRun",
+    "StormReport",
+    "run_storm",
+    "format_storm",
 ]

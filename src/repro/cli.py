@@ -12,6 +12,8 @@ Commands
 ``bench``               run the seeded macro perf suite (BENCH_CORE.json)
 ``chaos``               run the nemesis conformance suite: every adapter
                         under a seeded fault plan, checker verdict table
+``load``                open-loop load generator (Poisson/diurnal/flash
+                        arrivals); ``--storm`` runs the hot-key storm demo
 ``selftest``            import every module and run a smoke simulation
 
 The heavyweight experiment tables live in ``benchmarks/`` (run with
@@ -357,6 +359,98 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(report.ok for report in reports) else 1
 
 
+def cmd_load(args: argparse.Namespace) -> int:
+    """Open-loop load generator (``repro load``), plus the hot-key
+    storm demo (``repro load --storm``).
+
+    Exit status: 0 on success; for ``--storm``, 1 when the collapse /
+    prevention / convergence verdicts fail or (with
+    ``--check-determinism``) the fingerprint drifts between two runs.
+    """
+    from .api import registry
+
+    if args.storm:
+        from .chaos import format_storm, run_storm
+
+        report = run_storm(seed=args.seed, protocol=args.protocol,
+                           nodes=args.nodes)
+        print(format_storm(report))
+        if args.check_determinism:
+            again = run_storm(seed=args.seed, protocol=args.protocol,
+                              nodes=args.nodes)
+            if again.fingerprint() != report.fingerprint():
+                print("\nFAIL: storm trace fingerprint drifted between "
+                      "two identical runs", file=sys.stderr)
+                return 1
+            print("\ndeterminism: identical fingerprints on a second run")
+        return 0 if report.ok else 1
+
+    from .analysis import print_table
+    from .sim import FixedLatency, Network, Simulator
+    from .workload import (
+        DiurnalArrivals,
+        FlashCrowdArrivals,
+        OpenLoopDriver,
+        PoissonArrivals,
+        YCSBWorkload,
+    )
+
+    if args.protocol not in registry.names():
+        print(f"unknown protocol {args.protocol!r}; available: "
+              f"{', '.join(registry.names())}", file=sys.stderr)
+        return 2
+    if args.arrivals == "poisson":
+        arrivals = PoissonArrivals(rate=args.rate, seed=args.seed)
+    elif args.arrivals == "diurnal":
+        arrivals = DiurnalArrivals(low=args.base, high=args.rate,
+                                   period=args.period, seed=args.seed)
+    elif args.arrivals == "flash":
+        arrivals = FlashCrowdArrivals(
+            base=args.base, spike=args.rate, spike_at=args.spike_at,
+            hold=args.hold, decay=args.decay, seed=args.seed,
+        )
+    else:
+        print(f"unknown arrival process {args.arrivals!r}", file=sys.stderr)
+        return 2
+
+    sim = Simulator(seed=args.seed)
+    network = Network(sim, latency=FixedLatency(2.0))
+    store = registry.build(
+        args.protocol, sim, network, nodes=args.nodes,
+        service_time=args.service_time,
+        queue_limit=args.queue_limit,
+        admission_rate=args.admission_rate,
+    )
+    ops = YCSBWorkload(args.preset, records=args.records, seed=args.seed)
+    driver = OpenLoopDriver(store, arrivals, ops, sessions=args.sessions,
+                            timeout=args.timeout, seed=args.seed)
+    result = driver.run(args.duration)
+    metrics = sim.metrics
+    print_table(
+        ["metric", "value"],
+        [
+            ["offered ops", result.offered],
+            ["offered rate (ops/s)", round(result.offered_rate, 1)],
+            ["completed ok", result.ok],
+            ["goodput (ops/s)", round(result.goodput, 1)],
+            ["failed", result.failed],
+            ["shed (client-visible)", result.shed],
+            ["shed (server-side)", metrics.counter("server.shed").value],
+            ["queue depth peak", metrics.gauge("server.queue_depth_peak").value],
+            ["read p50 / p99 (ms)",
+             f"{result.read_latency.percentile(50):.1f} / "
+             f"{result.read_latency.percentile(99):.1f}"],
+            ["write p50 / p99 (ms)",
+             f"{result.write_latency.percentile(50):.1f} / "
+             f"{result.write_latency.percentile(99):.1f}"],
+            ["sessions used", result.sessions_used],
+        ],
+        title=f"open-loop {args.arrivals} load: {args.protocol}, "
+              f"{args.nodes} nodes, {args.duration:g}ms window",
+    )
+    return 0
+
+
 def cmd_selftest(_args: argparse.Namespace) -> int:
     import pkgutil
 
@@ -503,6 +597,53 @@ def main(argv: list[str] | None = None) -> int:
     chaos_parser.add_argument("--list", action="store_true",
                               help="list built-in fault plans and exit")
 
+    load_parser = sub.add_parser(
+        "load", help="open-loop load generator + hot-key storm demo"
+    )
+    load_parser.add_argument("--protocol", default="quorum")
+    load_parser.add_argument("--nodes", type=int, default=3)
+    load_parser.add_argument("--seed", type=int, default=42)
+    load_parser.add_argument(
+        "--arrivals", default="poisson",
+        choices=("poisson", "diurnal", "flash"),
+        help="arrival process (default: poisson)",
+    )
+    load_parser.add_argument("--rate", type=float, default=2000.0,
+                             help="peak offered rate, ops/sec")
+    load_parser.add_argument("--base", type=float, default=200.0,
+                             help="baseline rate for diurnal/flash")
+    load_parser.add_argument("--period", type=float, default=60_000.0,
+                             help="diurnal cycle length (ms)")
+    load_parser.add_argument("--spike-at", type=float, default=500.0,
+                             help="flash-crowd spike start (ms)")
+    load_parser.add_argument("--hold", type=float, default=2000.0,
+                             help="flash-crowd spike hold (ms)")
+    load_parser.add_argument("--decay", type=float, default=1000.0,
+                             help="flash-crowd decay constant (ms)")
+    load_parser.add_argument("--duration", type=float, default=4000.0,
+                             help="offered-traffic window (ms)")
+    load_parser.add_argument("--sessions", type=int, default=1000)
+    load_parser.add_argument("--timeout", type=float, default=250.0,
+                             help="per-op client timeout (ms)")
+    load_parser.add_argument("--preset", default="B",
+                             help="YCSB preset for the op mix (default B)")
+    load_parser.add_argument("--records", type=int, default=100,
+                             help="keyspace size (small = hotter keys)")
+    load_parser.add_argument("--service-time", type=float, default=1.0,
+                             help="per-node service time (ms/request)")
+    load_parser.add_argument("--queue-limit", type=int, default=None,
+                             help="bounded service queue (default: off)")
+    load_parser.add_argument("--admission-rate", type=float, default=None,
+                             help="token-bucket ops/sec/node (default: off)")
+    load_parser.add_argument(
+        "--storm", action="store_true",
+        help="run the three-leg hot-key storm demo instead",
+    )
+    load_parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="with --storm: run twice, fail on fingerprint drift",
+    )
+
     sub.add_parser("selftest", help="import everything + smoke simulation")
 
     args = parser.parse_args(argv)
@@ -515,6 +656,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "bench": cmd_bench,
         "chaos": cmd_chaos,
+        "load": cmd_load,
         "selftest": cmd_selftest,
     }
     return handlers[args.command](args)

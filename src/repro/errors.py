@@ -31,6 +31,23 @@ class TimeoutError(ReproError):  # noqa: A001 - deliberate domain name
     """An operation did not complete within its deadline."""
 
 
+class OverloadedError(UnavailableError):
+    """A server shed the request at admission (bounded service queue
+    full, or token-bucket throttle) instead of queueing it.
+
+    Carries an advisory ``retry_after`` hint in milliseconds — the
+    server's estimate of when capacity frees up.  The RPC retry layer
+    treats the hint as a back-pressure signal: the request is
+    retryable (it was never executed), but not before ``retry_after``
+    elapses.
+    """
+
+    def __init__(self, message: str = "overloaded",
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class QuorumError(UnavailableError):
     """A read or write quorum could not be assembled."""
 

@@ -30,6 +30,11 @@ ShardedStore` (hash-ring routing, per-node service time) — adds
     executes the ``mixed`` fault plan — partitions, crashes, drops and
     clock skew on top of the event loop, plus the timeout/recovery
     paths the healthy scenarios never touch.
+``openloop_overload``
+    A Poisson flood past capacity through the open-loop engine against
+    an admission-controlled quorum store — the arrival scheduler,
+    bounded service queue, token bucket, and shed/retry-after paths
+    under sustained saturation.
 """
 
 from __future__ import annotations
@@ -122,6 +127,24 @@ def _run_quorum_chaos(seed: int, quick: bool, tracer: Any = None) -> ScenarioOut
     return ScenarioOutcome(sim, result.ops_ok)
 
 
+def _run_openloop_overload(seed: int, quick: bool, tracer: Any = None) -> ScenarioOutcome:
+    from ..workload import OpenLoopDriver, PoissonArrivals
+
+    window, rate = (1500.0, 3000.0) if quick else (6000.0, 4000.0)
+    sim = Simulator(seed=seed, tracer=tracer)
+    net = Network(sim, latency=ExponentialLatency(base=0.3, mean=1.0))
+    store = registry.build("quorum", sim, net, nodes=3, service_time=1.0,
+                           queue_limit=32, admission_rate=900.0,
+                           admission_burst=50.0)
+    workload = YCSBWorkload("B", records=100, seed=seed + 1)
+    driver = OpenLoopDriver(
+        store, PoissonArrivals(rate=rate, seed=seed + 2), workload,
+        sessions=500, timeout=100.0, seed=seed + 3,
+    )
+    result = driver.run(window)
+    return ScenarioOutcome(sim, result.ok + result.failed)
+
+
 # ---------------------------------------------------------------------------
 # CRDT merge storm (no network — pure clone+merge churn on the sim clock)
 # ---------------------------------------------------------------------------
@@ -201,6 +224,11 @@ SCENARIOS: dict[str, Scenario] = {
             "quorum_chaos",
             "YCSB-A on the quorum store under the mixed nemesis fault plan",
             _run_quorum_chaos,
+        ),
+        Scenario(
+            "openloop_overload",
+            "open-loop Poisson flood past capacity, admission control on",
+            _run_openloop_overload,
         ),
     )
 }

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from .. import errors
-from ..errors import ReproError, SimulationError
+from ..errors import OverloadedError, ReproError, SimulationError
 from ..errors import TimeoutError as ReproTimeoutError
 from ..rpc import RetryPolicy, RpcCall, rpc_counters
 from ..sim import Future, Network, Node, Simulator
@@ -54,6 +54,10 @@ class Reply:
     payload: Any = None
     error: str | None = None          # exception class name
     error_message: str = ""
+    #: Back-pressure hint (ms) carried by an overload rejection: the
+    #: server's estimate of when capacity frees up.  Re-attached to
+    #: the rebuilt client-side exception so retry policies can honor it.
+    retry_after: float | None = None
 
 
 def _error_reply(request_id: int, exc: BaseException) -> Reply:
@@ -61,14 +65,19 @@ def _error_reply(request_id: int, exc: BaseException) -> Reply:
         request_id,
         error=type(exc).__name__,
         error_message=str(exc),
+        retry_after=getattr(exc, "retry_after", None),
     )
 
 
 def _rebuild_error(reply: Reply) -> ReproError:
     exc_type = getattr(errors, reply.error or "", None)
     if isinstance(exc_type, type) and issubclass(exc_type, BaseException):
-        return exc_type(reply.error_message)
-    return ReproError(f"{reply.error}: {reply.error_message}")
+        rebuilt = exc_type(reply.error_message)
+    else:
+        rebuilt = ReproError(f"{reply.error}: {reply.error_message}")
+    if reply.retry_after is not None:
+        rebuilt.retry_after = reply.retry_after
+    return rebuilt
 
 
 class ClientNode(Node):
@@ -235,18 +244,55 @@ class ServerNode(Node):
     (modelling a persisted dedup table); in-flight entries die with
     the node so a post-recovery retry re-executes, and failed
     operations are forgotten so retrying them is meaningful.
+
+    Overload control (both off by default):
+
+    * ``queue_limit`` bounds the service queue: a request arriving
+      with ``queue_limit`` requests already admitted is *shed* —
+      rejected immediately with an :class:`~repro.errors
+      .OverloadedError` carrying a ``retry_after`` hint — instead of
+      queueing behind work it would time out waiting for.
+    * ``admission_rate`` / ``admission_burst`` is a per-node token
+      bucket (tokens = client ops; rate in ops/sec): requests beyond
+      the sustained rate + burst are shed the same way.
+
+    Shed requests never consume service time, never create dedup
+    entries, and count in the shared ``server.shed`` counter; queue
+    occupancy publishes as the ``server.queue_depth`` /
+    ``server.queue_depth_peak`` gauges (aggregated across nodes).
     """
 
     #: Per-request processing time in ms; 0 disables queueing entirely.
     service_time: float = 0.0
-    #: Cap on remembered idempotent results (oldest evicted first).
+    #: Cap on remembered idempotent results (oldest-completed evicted
+    #: first; in-flight entries are never evicted).
     dedup_capacity: int = 1024
+    #: Bounded service queue: admitted-but-unserved requests beyond
+    #: this are shed (None = unbounded; only meaningful with a
+    #: positive ``service_time``).
+    queue_limit: int | None = None
+    #: Token-bucket admission: sustained client ops/sec this node
+    #: accepts (None = unthrottled).
+    admission_rate: float | None = None
+    #: Token-bucket burst capacity (ops admitted above the sustained
+    #: rate before throttling kicks in).
+    admission_burst: float = 8.0
 
     def __init__(self, sim, network, node_id: Hashable) -> None:
         super().__init__(sim, network, node_id)
         self._busy_until = 0.0
+        self._queue_depth = 0
+        self._tokens: float | None = None   # lazily filled to burst
+        self._tokens_at = 0.0
         self._dedup: dict[Hashable, _DedupEntry] = {}
+        #: Completed idempotent keys in completion order — the only
+        #: entries :meth:`_trim_dedup` may evict, oldest-completed
+        #: first (insertion-ordered dict used as a FIFO set).
+        self._dedup_done: dict[Hashable, None] = {}
         self._dedup_hits = sim.metrics.counter("rpc.dedup_hits")
+        self._shed = sim.metrics.counter("server.shed")
+        self._g_queue_depth = sim.metrics.gauge("server.queue_depth")
+        self._g_queue_peak = sim.metrics.gauge("server.queue_depth_peak")
         self._serve_cache: dict[type, Any] = {}
 
     def handle_Request(self, src: Hashable, msg: Request) -> None:
@@ -254,12 +300,21 @@ class ServerNode(Node):
         if key is not None:
             entry = self._dedup.get(key)
             if entry is not None:
+                # Replays and attaches bypass admission control: the
+                # original was already admitted, and a replayed reply
+                # costs no service time.
                 self._dedup_hits.inc()
                 if entry.done:
                     self.send(src, Reply(msg.request_id, entry.value))
                 else:
                     entry.waiters.append((src, msg.request_id))
                 return
+        rejection = self._admission_check()
+        if rejection is not None:
+            self._shed.inc()
+            self.send(src, _error_reply(msg.request_id, rejection))
+            return
+        if key is not None:
             # Record the entry at admission, not at dispatch: a retry
             # arriving while the original sits in the service queue
             # must not be queued (and executed) a second time.
@@ -271,8 +326,61 @@ class ServerNode(Node):
             return
         start = max(self.sim.now, self._busy_until)
         self._busy_until = start + self.service_time
+        self._set_queue_depth(self._queue_depth + 1)
         self.set_timer(self._busy_until - self.sim.now,
-                       self._dispatch_request, src, msg)
+                       self._dispatch_queued, src, msg)
+
+    # ------------------------------------------------------------------
+    # Overload control
+    # ------------------------------------------------------------------
+    def _admission_check(self) -> OverloadedError | None:
+        """The rejection to send, or None when the request is admitted
+        (consuming a token when a bucket is configured)."""
+        if (
+            self.queue_limit is not None
+            and self.service_time > 0
+            and self._queue_depth >= self.queue_limit
+        ):
+            # Time until occupancy drops below the limit again: the
+            # backlog drains one slot per service_time.
+            drain = (self._busy_until - self.sim.now
+                     - (self.queue_limit - 1) * self.service_time)
+            return OverloadedError(
+                f"{self.node_id} service queue full "
+                f"({self._queue_depth}/{self.queue_limit})",
+                retry_after=max(self.service_time, drain),
+            )
+        rate = self.admission_rate
+        if rate is not None and rate > 0:
+            tokens = self._tokens
+            if tokens is None:
+                tokens = self.admission_burst
+            per_ms = rate / 1000.0
+            tokens = min(
+                self.admission_burst,
+                tokens + (self.sim.now - self._tokens_at) * per_ms,
+            )
+            self._tokens_at = self.sim.now
+            if tokens < 1.0:
+                self._tokens = tokens
+                return OverloadedError(
+                    f"{self.node_id} over admission rate",
+                    retry_after=(1.0 - tokens) / per_ms,
+                )
+            self._tokens = tokens - 1.0
+        return None
+
+    def _set_queue_depth(self, depth: int) -> None:
+        delta = depth - self._queue_depth
+        self._queue_depth = depth
+        total = self._g_queue_depth.value + delta
+        self._g_queue_depth.set(total)
+        if total > self._g_queue_peak.value:
+            self._g_queue_peak.set(total)
+
+    def _dispatch_queued(self, src: Hashable, msg: Request) -> None:
+        self._set_queue_depth(self._queue_depth - 1)
+        self._dispatch_request(src, msg)
 
     def _dispatch_request(self, src: Hashable, msg: Request) -> None:
         payload_cls = type(msg.payload)
@@ -307,7 +415,7 @@ class ServerNode(Node):
                     )
                 )
         elif entry is not None:
-            self._complete_idempotent(entry, result)
+            self._complete_idempotent(key, entry, result)
         else:
             self.send(src, Reply(msg.request_id, result))
 
@@ -324,9 +432,12 @@ class ServerNode(Node):
     # ------------------------------------------------------------------
     # Idempotent-request bookkeeping
     # ------------------------------------------------------------------
-    def _complete_idempotent(self, entry: _DedupEntry, value: Any) -> None:
+    def _complete_idempotent(
+        self, key: Hashable, entry: _DedupEntry, value: Any
+    ) -> None:
         entry.done = True
         entry.value = value
+        self._dedup_done[key] = None
         waiters, entry.waiters = entry.waiters, []
         for src, request_id in waiters:
             self.send(src, Reply(request_id, value))
@@ -351,16 +462,18 @@ class ServerNode(Node):
         if future.error is not None:
             self._fail_idempotent(key, entry, future.error)
         else:
-            self._complete_idempotent(entry, future.value)
+            self._complete_idempotent(key, entry, future.value)
 
     def _trim_dedup(self) -> None:
-        while len(self._dedup) > self.dedup_capacity:
-            for key, entry in self._dedup.items():
-                if entry.done:
-                    del self._dedup[key]
-                    break
-            else:
-                break  # everything in flight; nothing safe to evict
+        # Evict completed entries only, oldest *completion* first: an
+        # in-flight entry must never be dropped (its retry, already on
+        # the wire, would re-execute and double-apply), and a
+        # just-completed entry — whatever its admission time — is
+        # exactly the one whose retries are still plausibly in flight.
+        while len(self._dedup) > self.dedup_capacity and self._dedup_done:
+            key = next(iter(self._dedup_done))
+            del self._dedup_done[key]
+            del self._dedup[key]
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -371,8 +484,10 @@ class ServerNode(Node):
         super().crash()
         # The service queue died with the node (its dispatch timers
         # were cancelled); the pre-crash backlog must not push
-        # _busy_until into the recovered node's future.
+        # _busy_until into the recovered node's future, and its
+        # occupancy must leave the shared queue-depth gauge.
         self._busy_until = 0.0
+        self._set_queue_depth(0)
         # In-flight idempotent ops died un-applied: drop their entries
         # so a post-recovery retry re-executes.  Completed results are
         # kept (a persisted dedup table).

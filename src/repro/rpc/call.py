@@ -34,6 +34,7 @@ RPC_COUNTERS = (
     "hedge_wins",
     "deadline_exceeded",
     "dedup_hits",
+    "throttled",
 )
 
 
@@ -170,6 +171,12 @@ class RpcCall:
             self._finish(error=inner.error)
             return
         delay = self.policy.backoff(self.attempts - 1, self.sim.rng)
+        hint = getattr(inner.error, "retry_after", None)
+        if hint is not None and hint > delay:
+            # Back-pressure: the server told us when capacity frees up;
+            # retrying sooner would only be shed again.
+            delay = hint
+            self._metrics["throttled"].inc()
         if (
             self.deadline_at is not None
             and self.sim.now + delay >= self.deadline_at

@@ -1,6 +1,6 @@
 """Workload generators: YCSB mixes, carts, bank ops, key distributions —
-plus the protocol-agnostic closed-loop driver that runs them against
-any :mod:`repro.api` store."""
+plus the protocol-agnostic closed-loop driver and the open-loop traffic
+engine that run them against any :mod:`repro.api` store."""
 
 from .bank import BankOp, BankWorkload, DebitOp, DebitWorkload
 from .cart import CartOp, CartWorkload
@@ -11,6 +11,14 @@ from .keyspace import (
     UniformKeys,
     ZipfianKeys,
     make_chooser,
+)
+from .openloop import (
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    OpenLoopDriver,
+    OpenLoopResult,
+    PoissonArrivals,
+    ReplayArrivals,
 )
 from .ycsb import PRESETS, MixSpec, OpSpec, YCSBWorkload
 
@@ -34,4 +42,10 @@ __all__ = [
     "DriverResult",
     "LaneStats",
     "run_workload",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
+    "ReplayArrivals",
+    "OpenLoopDriver",
+    "OpenLoopResult",
 ]

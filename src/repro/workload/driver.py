@@ -207,15 +207,22 @@ class WorkloadDriver:
         return self.result()
 
     def result(self) -> DriverResult:
-        start = self._start_time if self._start_time is not None else 0.0
-        # Duration spans the lanes' work, not dangling timeout timers
-        # the simulator may still drain after the last op completes.
-        end = self._end_time if self._active == 0 and \
-            self._end_time is not None else self.sim.now
+        if self._start_time is None:
+            # Never started: zero duration, not a phantom span measured
+            # from t=0 up to whatever the simulator clock reads now.
+            duration = 0.0
+        else:
+            # Duration spans the lanes' work, not dangling timeout
+            # timers the simulator may still drain after the last op
+            # completes.  ``until`` can cut lanes off mid-op with
+            # _end_time still behind _start_time; clamp at zero.
+            end = self._end_time if self._active == 0 and \
+                self._end_time is not None else self.sim.now
+            duration = max(0.0, end - self._start_time)
         return DriverResult(
             history=self.recorder.history(),
             lanes=[lane.stats for lane in self._lanes],
-            duration=end - start,
+            duration=duration,
             read_latency=self.read_latency,
             write_latency=self.write_latency,
         )
@@ -299,24 +306,43 @@ def run_workload(
     until: float | None = None,
     retry: Any = None,
     nemesis: Any = None,
+    arrivals: Any = None,
     **lane_opts: Any,
-) -> DriverResult:
+) -> Any:
     """One-call convenience: drive ``ops`` against ``store`` and return
-    the :class:`DriverResult`.  ``retry`` applies one
-    :class:`repro.rpc.RetryPolicy` across the whole client pool.
+    the result.  ``retry`` applies one :class:`repro.rpc.RetryPolicy`
+    across the whole client pool.
+
+    Closed-loop by default (``clients`` lanes, one op in flight each,
+    returning a :class:`DriverResult`).  Passing ``arrivals`` — an
+    arrival process from :mod:`repro.workload.openloop` — switches to
+    the open-loop engine: ops start at the arrival times regardless of
+    completion, ``clients`` sizes the session pool, and the result is
+    an :class:`~repro.workload.openloop.OpenLoopResult`.
 
     ``nemesis`` — a :class:`repro.chaos.Nemesis` (or anything with
     ``install(store)``/``stop()``) — is installed before the run and
-    stopped after it, so its fault plan executes alongside the
-    workload.  Healing and settling are left to the caller: what
-    post-fault recovery means is protocol- and checker-specific.
+    stopped after it (even when the run raises), so its fault plan
+    executes alongside the workload.  Healing and settling are left to
+    the caller: what post-fault recovery means is protocol- and
+    checker-specific.
     """
-    driver = WorkloadDriver(store.sim, recorder=recorder)
-    driver.add_clients(store, clients, ops, session_opts=session_opts,
-                       retry=retry, **lane_opts)
+    if arrivals is not None:
+        from .openloop import OpenLoopDriver
+
+        driver: Any = OpenLoopDriver(
+            store, arrivals, ops, sessions=clients,
+            session_opts=session_opts, recorder=recorder, retry=retry,
+            **lane_opts,
+        )
+    else:
+        driver = WorkloadDriver(store.sim, recorder=recorder)
+        driver.add_clients(store, clients, ops, session_opts=session_opts,
+                           retry=retry, **lane_opts)
     if nemesis is not None:
         nemesis.install(store)
-    result = driver.run(until)
-    if nemesis is not None:
-        nemesis.stop()
-    return result
+    try:
+        return driver.run(until)
+    finally:
+        if nemesis is not None:
+            nemesis.stop()

@@ -27,7 +27,7 @@ from repro.sim.trace import Tracer
 def test_scenario_registry_names():
     assert set(SCENARIOS) == {
         "quorum_ycsb", "sharded_ring", "multipaxos", "crdt_merge_storm",
-        "quorum_chaos",
+        "quorum_chaos", "openloop_overload",
     }
     for scenario in SCENARIOS.values():
         assert scenario.description

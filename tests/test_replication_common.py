@@ -2,9 +2,14 @@
 
 import pytest
 
-from repro.errors import NotLeaderError, TimeoutError as ReproTimeoutError
+from repro.errors import (
+    NotLeaderError,
+    OverloadedError,
+    TimeoutError as ReproTimeoutError,
+)
 from repro.replication import HashRing, stable_hash
 from repro.replication.common import ClientNode, ServerNode
+from repro.rpc import RetryPolicy
 from repro.sim import FixedLatency, Future, Network, Simulator
 
 
@@ -89,6 +94,125 @@ def test_crashed_server_never_replies():
     future = client.request("server", "hello", timeout=50.0)
     sim.run()
     assert isinstance(future.error, ReproTimeoutError)
+
+
+# ----------------------------------------------------------------------
+# Dedup eviction and overload control
+# ----------------------------------------------------------------------
+
+class CountingServer(ServerNode):
+    """Echo server that counts executions of its deferred handler."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.executions = 0
+
+    def serve_str(self, src, payload):
+        return payload.upper()
+
+    def serve_int(self, src, payload):
+        self.executions += 1
+        future = Future(self.sim)
+        self.sim.schedule(20.0, future.resolve, payload * 2)
+        return future
+
+
+def test_trim_dedup_never_evicts_pending_entry():
+    # Regression: eviction pressure while an idempotent op is still
+    # in flight must not drop its entry — the retry already on the
+    # wire would re-execute and double-apply.
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=FixedLatency(1.0))
+    server = CountingServer(sim, net, "server")
+    server.dedup_capacity = 2
+    client = ClientNode(sim, net, "client")
+
+    slow = client.request("server", 7, idempotency_key="slow", timeout=100.0)
+    sim.run(5.0)                 # handler running, future still pending
+    for i, key in enumerate(("f1", "f2", "f3")):
+        client.request("server", f"v{i}", idempotency_key=key, timeout=100.0)
+    sim.run(15.0)                # trim ran twice under capacity pressure
+
+    retry = client.request("server", 7, idempotency_key="slow", timeout=100.0)
+    sim.run()
+    assert slow.value == 14 and retry.value == 14
+    assert server.executions == 1        # the retry attached, not re-ran
+
+
+def test_trim_dedup_evicts_oldest_completed_first():
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=FixedLatency(1.0))
+    server = CountingServer(sim, net, "server")
+    server.dedup_capacity = 2
+    client = ClientNode(sim, net, "client")
+    for i, key in enumerate(("f1", "f2", "f3")):
+        client.request("server", f"v{i}", idempotency_key=key, timeout=100.0)
+        sim.run()
+    hits = sim.metrics.counter("rpc.dedup_hits")
+    # f1 was evicted (oldest completion); f3 survived and replays.
+    client.request("server", "changed", idempotency_key="f3", timeout=100.0)
+    sim.run()
+    assert hits.value == 1
+    client.request("server", "changed", idempotency_key="f1", timeout=100.0)
+    sim.run()
+    assert hits.value == 1               # re-executed, no replay
+
+
+def test_bounded_queue_sheds_with_retry_after():
+    sim, _net, server, client = setup()
+    server.service_time = 5.0
+    server.queue_limit = 2
+    futures = [client.request("server", f"m{i}", timeout=200.0)
+               for i in range(5)]
+    sim.run()
+    ok = [f for f in futures if f.error is None]
+    shed = [f for f in futures if isinstance(f.error, OverloadedError)]
+    assert len(ok) == 2 and len(shed) == 3
+    assert all(f.error.retry_after > 0 for f in shed)
+    assert sim.metrics.counter("server.shed").value == 3
+    assert sim.metrics.gauge("server.queue_depth").value == 0  # drained
+
+
+def test_token_bucket_admission():
+    sim, _net, server, client = setup()
+    server.admission_rate = 100.0        # 0.1 tokens/ms
+    server.admission_burst = 2.0
+    futures = [client.request("server", f"m{i}", timeout=500.0)
+               for i in range(4)]
+    sim.run(10.0)
+    rejected = [f for f in futures if isinstance(f.error, OverloadedError)]
+    assert len(rejected) == 2            # burst admitted two
+    assert all(f.error.retry_after > 0 for f in rejected)
+    # The bucket refills: a later request is admitted again.
+    late = client.request("server", "later", timeout=500.0)
+    sim.run()
+    assert late.value == "LATER"
+
+
+def test_crash_resets_queue_depth_gauge():
+    sim, _net, server, client = setup()
+    server.service_time = 10.0
+    for i in range(4):
+        client.request("server", f"m{i}", timeout=50.0)
+    sim.run(5.0)
+    gauge = sim.metrics.gauge("server.queue_depth")
+    assert gauge.value > 0
+    server.crash()
+    assert gauge.value == 0              # crash drops the backlog
+
+
+def test_retry_layer_honors_retry_after_hint():
+    sim, _net, server, client = setup()
+    server.admission_rate = 100.0
+    server.admission_burst = 1.0
+    first = client.request("server", "one", timeout=100.0)  # drains the bucket
+    policy = RetryPolicy(max_attempts=5, backoff_base=1.0, jitter=0.0,
+                         request_timeout=100.0)
+    second = client.call("server", "two", policy=policy)
+    sim.run()
+    assert first.value == "ONE"
+    assert second.value == "TWO"         # retried after the hint, then admitted
+    assert sim.metrics.counter("rpc.throttled").value >= 1
 
 
 # ----------------------------------------------------------------------

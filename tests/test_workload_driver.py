@@ -114,6 +114,63 @@ def test_unknown_op_rejected():
         driver.run()
 
 
+def test_result_before_start_reports_zero_duration():
+    # Regression: result() before start() used to measure a phantom
+    # duration from t=0 to wherever the sim clock happened to be.
+    sim, store = build()
+    sim.schedule(500.0, lambda: None)
+    sim.run()
+    driver = WorkloadDriver(sim)
+    driver.add_session(store.session(), [OpSpec("read", "k")])
+    result = driver.result()
+    assert result.duration == 0.0
+    assert result.throughput == 0.0
+
+
+def test_until_cutoff_duration_never_negative():
+    sim, store = build()
+    driver = WorkloadDriver(sim)
+    stats = driver.add_session(
+        store.session(), [OpSpec("sleep", "", 100.0), OpSpec("read", "k")]
+    )
+    result = driver.run(until=10.0)        # cut the lane off mid-sleep
+    assert result.duration == 10.0
+    assert stats.ops == 0                  # the read never issued
+    assert driver.result().duration >= 0.0
+
+
+class _RecordingNemesis:
+    def __init__(self):
+        self.installed = False
+        self.stopped = False
+
+    def install(self, store):
+        self.installed = True
+
+    def stop(self):
+        self.stopped = True
+
+
+def test_run_workload_stops_nemesis_on_success():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    store = ShardedStore(sim, net, protocol="quorum", shards=2,
+                         nodes_per_shard=3)
+    nemesis = _RecordingNemesis()
+    run_workload(store, [OpSpec("update", "k", 1)], nemesis=nemesis)
+    assert nemesis.installed and nemesis.stopped
+
+
+def test_run_workload_stops_nemesis_when_run_raises():
+    # Regression: a workload bug used to leak the installed nemesis
+    # (its fault timers kept firing into the caller's simulator).
+    sim, store = build()
+    nemesis = _RecordingNemesis()
+    with pytest.raises(ValueError):
+        run_workload(store, [OpSpec("scan", "k", None)], nemesis=nemesis)
+    assert nemesis.installed and nemesis.stopped
+
+
 def test_run_workload_against_sharded_store():
     sim = Simulator(seed=3)
     net = Network(sim)
