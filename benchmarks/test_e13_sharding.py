@@ -73,6 +73,43 @@ def test_e13_sharding_throughput(benchmark, capsys):
     benchmark.pedantic(run_sharded, args=(2,), rounds=2, iterations=1)
 
 
+def test_e13_rebalance_restores_routing_balance(capsys):
+    """Satellite: after a live scale-out the router spreads *new* ops
+    across all shards within a 2x min/max envelope — the ring move
+    actually rebalanced ownership, not just added idle capacity."""
+    sim = Simulator(seed=11)
+    net = Network(sim)
+    store = ShardedStore(sim, net, protocol="quorum", shards=2,
+                         nodes_per_shard=3, service_time=SERVICE_TIME)
+    # Uniform keys over a wide keyspace: routed traffic tracks ring
+    # ownership share, not zipfian hot-key luck.
+    workload = YCSBWorkload("A", records=2000, seed=9,
+                            distribution="uniform")
+    run_workload(store, workload.take(300), clients=CLIENTS,
+                 timeout=60_000.0)
+
+    move = store.add_shard()
+    sim.run()
+    assert not move.failed
+
+    before = dict(store.routed_ops())
+    run_workload(store, workload.take(600), clients=CLIENTS,
+                 timeout=60_000.0)
+    after = store.routed_ops()
+    delta = {shard: after[shard] - before.get(shard, 0)
+             for shard in store.shard_ids}
+    emit(capsys, render_table(
+        ["shard", "ops before", "ops after", "delta"],
+        [[shard, before.get(shard, 0), after[shard], delta[shard]]
+         for shard in sorted(store.shard_ids)],
+        title="E13c: per-shard routed ops around a live 2->3 scale-out "
+              "(uniform keys)",
+    ))
+    assert len(delta) == 3
+    assert all(count > 0 for count in delta.values())
+    assert max(delta.values()) <= 2 * min(delta.values()), delta
+
+
 def test_e13_ycsb_f_rmw(capsys):
     """YCSB-F (50% RMW) through the driver against the sharded store."""
     store, result = run_sharded(

@@ -82,6 +82,10 @@ class StoreCapabilities:
     #: .settle` quiesces the store — the liveness half of eventual
     #: consistency, asserted by the chaos convergence check.
     eventually_convergent: bool = True
+    #: Topology is live: the store supports ``resize()`` /
+    #: ``add_shard()`` / ``decommission_shard()`` mid-run (the elastic
+    #: sharded router; fixed single clusters say False).
+    elastic: bool = False
     #: Guarantees this adapter explicitly does *not* defend under
     #: injected faults, as ``(guarantee, reason)`` pairs.  The chaos
     #: runner reports them as WAIVED instead of failing — a waiver is
@@ -205,6 +209,14 @@ class ConsistentStore(ABC):
     def snapshots(self) -> list[dict]:
         """Per-replica state snapshots (for convergence checks)."""
         raise NotImplementedError
+
+    def resize(self, shards: int, **opts: Any) -> Future:
+        """Grow/shrink a live topology to ``shards`` shards (elastic
+        stores only); resolves when the last ring move commits."""
+        raise NotImplementedError(
+            f"{self.capabilities.name} is not elastic; topology is "
+            "fixed at build time"
+        )
 
     def settle(self) -> None:
         """Force quiescence (anti-entropy sweep etc.); default no-op."""

@@ -258,6 +258,35 @@ class Nemesis:
         self._expire_link(plan_step, a, b)
         self.sim.annotate("chaos", fault="drop", a=a, b=b, rate=rate)
 
+    # ------------------------------------------------------------------
+    # Elastic faults (live ring moves on elastic stores)
+    # ------------------------------------------------------------------
+    def _elastic(self) -> bool:
+        caps = getattr(self.store, "capabilities", None)
+        return bool(caps is not None and getattr(caps, "elastic", False))
+
+    def _do_scale_out(self, plan_step: FaultStep) -> None:
+        if not self._elastic():
+            self.sim.annotate("chaos", fault="scale_out", skipped="inelastic")
+            return
+        if self.store.rebalancing:
+            self.sim.annotate("chaos", fault="scale_out", skipped="busy")
+            return
+        self.store.add_shard(plan_step.param("shard"))
+        self.sim.annotate("chaos", fault="scale_out",
+                          shards=len(self.store.shards))
+
+    def _do_scale_in(self, plan_step: FaultStep) -> None:
+        if not self._elastic():
+            self.sim.annotate("chaos", fault="scale_in", skipped="inelastic")
+            return
+        if self.store.rebalancing or len(self.store.ring.nodes) <= 1:
+            self.sim.annotate("chaos", fault="scale_in", skipped="busy")
+            return
+        self.store.decommission_shard(plan_step.param("shard"))
+        self.sim.annotate("chaos", fault="scale_in",
+                          shards=len(self.store.shards))
+
     def _expire_link(self, plan_step: FaultStep, a, b) -> None:
         duration = plan_step.param("duration", 0.0)
         if duration > 0:

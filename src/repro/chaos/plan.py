@@ -12,7 +12,13 @@ params)`` — over the fault vocabulary of the tutorial's failure axes:
               ``offset_ms`` + ``target``)
 ``slow_link`` add ``extra_delay`` ms to one server↔server link
 ``drop``      drop ``rate`` of one server↔server link's messages
+``scale_out`` add a shard to an elastic store (live ring move)
+``scale_in``  decommission a shard from an elastic store
 ============  =============================================================
+
+The ``scale_*`` faults target stores whose capabilities declare
+``elastic``; against a fixed-topology store they are annotated no-ops,
+so mixed plans stay portable across the registry.
 
 Times are milliseconds **relative to nemesis install**.  Steps carry
 no randomness themselves — target/side selection happens inside the
@@ -35,6 +41,8 @@ FAULTS = (
     "clock_skew",
     "slow_link",
     "drop",
+    "scale_out",
+    "scale_in",
 )
 
 PARTITION_SHAPES = ("halves", "ring", "bridge")
@@ -247,6 +255,13 @@ PLANS: dict[str, FaultPlan] = {
         step("drop", at=160, rate=0.5, duration=100),
         step("slow_link", at=290, extra_delay=40, duration=80),
         step("heal", at=400),
+    )),
+    "rebalance": FaultPlan("rebalance", (
+        step("partition", at=40, shape="halves"),
+        step("scale_out", at=60),
+        step("heal", at=160),
+        step("scale_in", at=420),
+        step("heal", at=560),
     )),
     "mixed": FaultPlan("mixed", (
         step("partition", at=40, shape="halves"),

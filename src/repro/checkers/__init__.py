@@ -9,6 +9,7 @@ consistency claims are machine-verified.
 from .base import Verdict, Violation
 from .causal import check_causal, check_causal_or_raise
 from .convergence import check_convergence, divergence, stale_keys
+from .elastic import MISSING, check_no_lost_writes, read_back
 from .linearizability import (
     check_linearizability,
     check_linearizability_key,
@@ -50,6 +51,9 @@ __all__ = [
     "check_convergence",
     "divergence",
     "stale_keys",
+    "check_no_lost_writes",
+    "read_back",
+    "MISSING",
     "measure_staleness",
     "ReadStaleness",
     "check_bounded_staleness",

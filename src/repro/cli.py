@@ -14,6 +14,8 @@ Commands
                         under a seeded fault plan, checker verdict table
 ``load``                open-loop load generator (Poisson/diurnal/flash
                         arrivals); ``--storm`` runs the hot-key storm demo
+``scale``               elastic-scaling demo: live ring moves under
+                        open-loop load, durability + convergence verdicts
 ``selftest``            import every module and run a smoke simulation
 
 The heavyweight experiment tables live in ``benchmarks/`` (run with
@@ -451,6 +453,31 @@ def cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scale(args: argparse.Namespace) -> int:
+    """Run the elastic-scaling demo (``repro scale``).
+
+    Exit status: 0 when both ring moves commit, no acknowledged write
+    is lost, and the store converges; 1 on any verdict failure or
+    (with ``--check-determinism``) fingerprint drift between two runs.
+    """
+    from .sharding.demo import format_scale, run_scale_demo
+
+    knobs = dict(
+        seed=args.seed, protocol=args.protocol, shards=args.shards,
+        peak=args.peak, rate=args.rate, duration=args.duration,
+    )
+    report = run_scale_demo(**knobs)
+    print(format_scale(report))
+    if args.check_determinism:
+        again = run_scale_demo(**knobs)
+        if again.fingerprint != report.fingerprint:
+            print("\nFAIL: scale trace fingerprint drifted between two "
+                  "identical runs", file=sys.stderr)
+            return 1
+        print("\ndeterminism: identical fingerprints on a second run")
+    return 0 if report.ok else 1
+
+
 def cmd_selftest(_args: argparse.Namespace) -> int:
     import pkgutil
 
@@ -644,6 +671,24 @@ def main(argv: list[str] | None = None) -> int:
         help="with --storm: run twice, fail on fingerprint drift",
     )
 
+    scale_parser = sub.add_parser(
+        "scale", help="elastic-scaling demo: ring moves under live load"
+    )
+    scale_parser.add_argument("--seed", type=int, default=42)
+    scale_parser.add_argument("--protocol", default="quorum")
+    scale_parser.add_argument("--shards", type=int, default=2,
+                              help="starting (and final) shard count")
+    scale_parser.add_argument("--peak", type=int, default=4,
+                              help="shard count to scale out to")
+    scale_parser.add_argument("--rate", type=float, default=600.0,
+                              help="offered load, ops/sec")
+    scale_parser.add_argument("--duration", type=float, default=3000.0,
+                              help="offered-traffic window (ms)")
+    scale_parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="run twice, fail on trace fingerprint drift",
+    )
+
     sub.add_parser("selftest", help="import everything + smoke simulation")
 
     args = parser.parse_args(argv)
@@ -657,6 +702,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": cmd_bench,
         "chaos": cmd_chaos,
         "load": cmd_load,
+        "scale": cmd_scale,
         "selftest": cmd_selftest,
     }
     return handlers[args.command](args)

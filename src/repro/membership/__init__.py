@@ -1,0 +1,25 @@
+"""Elastic membership: gossip dissemination, phi-accrual failure
+detection, and the queue-driven autoscaler (ISSUE 7).
+
+The paper's taxonomy assumes replica sets that change under the
+protocols; this package is where topology stops being a constructor
+argument.  :class:`MembershipService` maintains a live gossip view
+with per-observer :class:`PhiAccrualDetector` suspicion levels, and
+:class:`Autoscaler` turns PR 6's queue-depth gauges into
+``add_shard()`` / ``decommission_shard()`` calls on the elastic
+sharded store.
+"""
+
+from .autoscaler import Autoscaler
+from .detector import PhiAccrualDetector
+from .gossip import ALIVE, DEAD, SUSPECT, GossipMsg, MembershipService
+
+__all__ = [
+    "PhiAccrualDetector",
+    "MembershipService",
+    "GossipMsg",
+    "Autoscaler",
+    "ALIVE",
+    "SUSPECT",
+    "DEAD",
+]

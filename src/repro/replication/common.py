@@ -277,6 +277,12 @@ class ServerNode(Node):
     #: Token-bucket burst capacity (ops admitted above the sustained
     #: rate before throttling kicks in).
     admission_burst: float = 8.0
+    #: Membership overlay hook: set by :class:`repro.membership
+    #: .MembershipService` when this node is monitored.  Gossip rides
+    #: the ordinary message path (so partitions and crashes affect it
+    #: exactly like protocol traffic) but bypasses admission control —
+    #: a saturated node must still be able to prove it is alive.
+    gossip: Any = None
 
     def __init__(self, sim, network, node_id: Hashable) -> None:
         super().__init__(sim, network, node_id)
@@ -294,6 +300,10 @@ class ServerNode(Node):
         self._g_queue_depth = sim.metrics.gauge("server.queue_depth")
         self._g_queue_peak = sim.metrics.gauge("server.queue_depth_peak")
         self._serve_cache: dict[type, Any] = {}
+
+    def handle_GossipMsg(self, src: Hashable, msg: Any) -> None:
+        if self.gossip is not None:
+            self.gossip.on_gossip(self, src, msg)
 
     def handle_Request(self, src: Hashable, msg: Request) -> None:
         key = msg.idempotency_key

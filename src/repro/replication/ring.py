@@ -30,6 +30,10 @@ class HashRing:
         if vnodes < 1:
             raise ValueError("vnodes must be >= 1")
         self.vnodes = vnodes
+        #: Bumped on every membership change.  Routers that cache
+        #: ring-derived state (per-shard sessions, walk results copied
+        #: out of the ring) compare against this to revalidate.
+        self.version = 0
         self._tokens: list[tuple[int, Hashable]] = []
         self._nodes: list[Hashable] = []
         # key -> full distinct-node walk order.  The walk is a pure
@@ -49,13 +53,21 @@ class HashRing:
             token = stable_hash((node, i))
             bisect.insort(self._tokens, (token, node))
         self._walk_cache.clear()
+        self.version += 1
 
     def remove_node(self, node: Hashable) -> None:
         if node not in self._nodes:
             raise ValueError(f"node {node!r} not on ring")
+        if len(self._nodes) == 1:
+            # An empty ring would make every later coordinator() call
+            # die with an opaque IndexError; fail at the cause instead.
+            raise ValueError(
+                f"cannot remove {node!r}: it is the last node on the ring"
+            )
         self._nodes.remove(node)
         self._tokens = [(t, n) for t, n in self._tokens if n != node]
         self._walk_cache.clear()
+        self.version += 1
 
     @property
     def nodes(self) -> list[Hashable]:

@@ -1,5 +1,12 @@
-"""Horizontal partitioning: a key-range router over replicated stores."""
+"""Horizontal partitioning: a key-range router over replicated stores,
+with live ring moves (elastic scale-out/scale-in via handoff)."""
 
+from .handoff import RingMove, transfer_fingerprint
 from .sharded import ShardedSession, ShardedStore
 
-__all__ = ["ShardedStore", "ShardedSession"]
+__all__ = [
+    "ShardedStore",
+    "ShardedSession",
+    "RingMove",
+    "transfer_fingerprint",
+]

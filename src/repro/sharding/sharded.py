@@ -18,6 +18,16 @@ workload driver, the checkers, and the conformance suite run against a
 sharded store exactly as against a single cluster.  Routing metrics
 publish under ``shard.*`` in ``sim.metrics``.
 
+Elasticity (ISSUE 7): the topology is *live*.  :meth:`ShardedStore
+.add_shard` builds a new per-shard cluster mid-run and streams the
+key ranges that change ownership from their donors through a
+:class:`~repro.sharding.handoff.RingMove`; :meth:`decommission_shard`
+runs the reverse drain; :meth:`resize` chains moves to a target count.
+Routing is epoch-aware: ``ring_epoch`` bumps on every per-range flip
+and every ring membership change, and sessions revalidate their cached
+per-shard sub-sessions against it — a decommissioned shard's sessions
+die with its cluster instead of silently routing to a corpse.
+
 Capacity note: with :attr:`ServerNode.service_time
 <repro.replication.common.ServerNode.service_time>` set, each shard's
 nodes saturate independently — which is what makes throughput scale
@@ -29,14 +39,27 @@ from __future__ import annotations
 from typing import Any, Hashable
 
 from ..api import registry
-from ..api.store import ConsistentStore, StoreCapabilities, StoreSession
+from ..api.store import (
+    ConsistentStore,
+    StoreCapabilities,
+    StoreSession,
+    resolved,
+)
+from ..errors import OverloadedError, SimulationError
 from ..histories import History
 from ..replication import HashRing
-from ..sim import Network, Simulator
+from ..sim import Future, Network, Simulator, spawn
+from .handoff import DRAIN, JOIN, RingMove
 
 
 class ShardedSession(StoreSession):
-    """Routes each op to the owning shard's session (created lazily)."""
+    """Routes each op to the owning shard's session (created lazily).
+
+    Cached sub-sessions are revalidated against the store's
+    ``ring_epoch``: any entry whose shard cluster was replaced or
+    decommissioned is dropped, so a ring change can never route an op
+    through a session bound to a retired cluster.
+    """
 
     def __init__(self, store: "ShardedStore", name: Hashable,
                  session_opts: dict) -> None:
@@ -44,30 +67,44 @@ class ShardedSession(StoreSession):
         self.client_id = None
         self._store = store
         self._opts = session_opts
-        self._sub: dict[Hashable, StoreSession] = {}
+        self._epoch = store.ring_epoch
+        # shard id -> (session, the cluster it was opened against)
+        self._sub: dict[Hashable, tuple[StoreSession, Any]] = {}
 
     def _session_for(self, key: Hashable) -> StoreSession:
-        shard_id = self._store.shard_of(key)
-        session = self._sub.get(shard_id)
-        if session is None:
+        store = self._store
+        if self._epoch != store.ring_epoch:
+            for shard_id, (_session, cluster) in list(self._sub.items()):
+                if store.shards.get(shard_id) is not cluster:
+                    del self._sub[shard_id]
+            self._epoch = store.ring_epoch
+        shard_id = store.shard_of(key)
+        entry = self._sub.get(shard_id)
+        if entry is None:
             opts = dict(self._opts)
-            if self._store.spec.capabilities.networked:
+            if store.spec.capabilities.networked:
                 # Per-shard clusters number their clients independently;
                 # on a shared network the ids would collide, so the
                 # router hands out globally unique ones.
-                self._store._clients += 1
+                store._clients += 1
                 opts.setdefault(
-                    "client_id", f"{shard_id}-client{self._store._clients}"
+                    "client_id", f"{shard_id}-client{store._clients}"
                 )
-            session = self._store.shards[shard_id].session(
-                f"{self.name}@{shard_id}", **opts
-            )
-            self._sub[shard_id] = session
-        self._store._ops_routed.inc()
-        self._store._per_shard_ops[shard_id].inc()
+            cluster = store.shards[shard_id]
+            session = cluster.session(f"{self.name}@{shard_id}", **opts)
+            self._sub[shard_id] = (session, cluster)
+        else:
+            session = entry[0]
+        store._ops_routed.inc()
+        store._count_route(shard_id)
         return session
 
     def put(self, key, value, timeout=None):
+        retry_after = self._store.write_blocked(key)
+        if retry_after is not None:
+            return resolved(self._store.sim, error=OverloadedError(
+                f"key {key!r} is mid-handoff", retry_after=retry_after,
+            ))
         return self._session_for(key).put(key, value, timeout=timeout)
 
     def get(self, key, mode=None, timeout=None):
@@ -83,6 +120,8 @@ class ShardedStore(ConsistentStore):
                              nodes_per_shard=3, n=3, r=2, w=2)
         session = store.session("alice")
         session.put("user1", "x")       # routed by ring ownership
+        move = store.add_shard()        # live scale-out; move.done is
+        sim.run()                       # resolved when routing settled
 
     ``protocol`` is any registry name; extra kwargs go to every
     per-shard cluster.  Shard ``i``'s nodes are named
@@ -107,17 +146,25 @@ class ShardedStore(ConsistentStore):
         spec = registry.get(protocol)
         self.protocol = protocol
         self.spec = spec
+        self.vnodes = vnodes
+        self._nodes_per_shard = nodes_per_shard
+        self._service_time = service_time
+        self._cluster_kwargs = dict(cluster_kwargs)
         self.shard_ids = [f"shard{i}" for i in range(shards)]
+        self._next_shard = shards
         self.ring = HashRing(self.shard_ids, vnodes=vnodes)
+        #: Bumped on every routing change a session could have cached
+        #: across: per-range flips and ring membership changes.
+        self.ring_epoch = 0
         self.shards: dict[Hashable, ConsistentStore] = {}
         for shard_id in self.shard_ids:
-            node_ids = [
-                f"{shard_id}-n{j}" for j in range(nodes_per_shard)
-            ]
-            self.shards[shard_id] = spec.build(
-                sim, network, nodes=nodes_per_shard, node_ids=node_ids,
-                service_time=service_time, **cluster_kwargs,
-            )
+            self.shards[shard_id] = self._build_cluster(shard_id)
+        #: Decommissioned clusters, kept for history()/forensics.
+        self._retired: list[tuple[Hashable, ConsistentStore]] = []
+        self._move: RingMove | None = None
+        #: Optional :class:`repro.membership.MembershipService` kept in
+        #: sync with ring moves (see :meth:`attach_membership`).
+        self.membership: Any = None
         self.capabilities = StoreCapabilities(
             name=f"sharded[{protocol}x{shards}]",
             description=f"{shards}-shard router over {protocol}",
@@ -132,6 +179,7 @@ class ShardedStore(ConsistentStore):
             retry_safe_writes=spec.capabilities.retry_safe_writes,
             failover_reads=spec.capabilities.failover_reads,
             failover_writes=spec.capabilities.failover_writes,
+            elastic=True,
         )
         metrics = sim.metrics
         self._ops_routed = metrics.counter("shard.ops_routed")
@@ -139,20 +187,202 @@ class ShardedStore(ConsistentStore):
             shard_id: metrics.counter(f"shard.{shard_id}.ops")
             for shard_id in self.shard_ids
         }
-        metrics.gauge("shard.count").set(shards)
+        self._g_shards = metrics.gauge("shard.count")
+        self._g_shards.set(shards)
+        self._g_ring_version = metrics.gauge("ring.version")
         self._sessions = 0
         self._clients = 0
 
+    def _build_cluster(self, shard_id: Hashable) -> ConsistentStore:
+        node_ids = [
+            f"{shard_id}-n{j}" for j in range(self._nodes_per_shard)
+        ]
+        return self.spec.build(
+            self.sim, self.network, nodes=self._nodes_per_shard,
+            node_ids=node_ids, service_time=self._service_time,
+            **self._cluster_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
     # ------------------------------------------------------------------
     def shard_of(self, key: Hashable) -> Hashable:
-        """The shard owning ``key`` (ring coordinator)."""
+        """The shard owning ``key``: the ring coordinator, overridden
+        per range while a ring move is in flight."""
+        move = self._move
+        if move is not None:
+            route = move.route(key)
+            if route is not None:
+                return route
         return self.ring.coordinator(key)
+
+    def write_blocked(self, key: Hashable) -> float | None:
+        """``retry_after`` (ms) when ``key`` is in a range mid-cutover,
+        else None.  Reads are never blocked."""
+        move = self._move
+        if move is None:
+            return None
+        return move.write_blocked(key)
+
+    def _count_route(self, shard_id: Hashable) -> None:
+        counter = self._per_shard_ops.get(shard_id)
+        if counter is None:
+            counter = self.sim.metrics.counter(f"shard.{shard_id}.ops")
+            self._per_shard_ops[shard_id] = counter
+        counter.inc()
 
     def session(self, name: Hashable | None = None, **opts: Any) -> StoreSession:
         self._sessions += 1
         name = name if name is not None else f"sharded-{self._sessions}"
         return ShardedSession(self, name, opts)
 
+    def _direct_session(self, shard_id: Hashable, label: str) -> StoreSession:
+        """A session pinned to one shard cluster, bypassing routing
+        (the handoff data path)."""
+        opts: dict[str, Any] = {}
+        if self.spec.capabilities.networked:
+            self._clients += 1
+            opts["client_id"] = f"{shard_id}-{label}{self._clients}"
+        return self.shards[shard_id].session(f"{label}@{shard_id}", **opts)
+
+    def _shard_keys(self, shard_id: Hashable) -> list:
+        """Keys any replica of ``shard_id`` currently stores (the
+        handoff's transfer work-list)."""
+        keys: set = set()
+        for snapshot in self.shards[shard_id].snapshots():
+            keys.update(snapshot)
+        return sorted(keys, key=repr)
+
+    # ------------------------------------------------------------------
+    # Elasticity
+    # ------------------------------------------------------------------
+    @property
+    def rebalancing(self) -> bool:
+        """A ring move is in flight (or parked after a failure)."""
+        return self._move is not None
+
+    def add_shard(
+        self, shard_id: Hashable | None = None, **move_opts: Any
+    ) -> RingMove:
+        """Scale out: build a fresh cluster and stream the ranges it
+        now owns from their donor shards.  Returns the in-flight
+        :class:`~repro.sharding.handoff.RingMove`; routing flips
+        per-range as transfers complete and the ring itself is updated
+        when ``move.done`` resolves."""
+        if self._move is not None:
+            raise SimulationError(
+                "a ring move is already in flight; one move at a time"
+            )
+        if shard_id is None:
+            shard_id = f"shard{self._next_shard}"
+            self._next_shard += 1
+        if shard_id in self.shards:
+            raise ValueError(f"shard {shard_id!r} already exists")
+        self.shards[shard_id] = self._build_cluster(shard_id)
+        self.shard_ids.append(shard_id)
+        self._g_shards.set(len(self.shards))
+        if self.membership is not None:
+            for node_id in self.shards[shard_id].server_ids():
+                self.membership.add_node(self.network.node(node_id))
+        self.sim.annotate("ring", action="add_shard", shard=shard_id)
+        move = RingMove(self, JOIN, shard_id, **move_opts)
+        self._move = move
+        move.start()
+        return move
+
+    def decommission_shard(
+        self, shard_id: Hashable | None = None, **move_opts: Any
+    ) -> RingMove:
+        """Scale in: drain ``shard_id`` (default: the newest shard) to
+        the shards inheriting its ranges, then retire its cluster."""
+        if self._move is not None:
+            raise SimulationError(
+                "a ring move is already in flight; one move at a time"
+            )
+        if shard_id is None:
+            shard_id = self.shard_ids[-1]
+        if shard_id not in self.ring.nodes:
+            raise ValueError(f"shard {shard_id!r} is not on the ring")
+        if len(self.ring.nodes) <= 1:
+            raise ValueError("cannot decommission the last shard")
+        self.sim.annotate("ring", action="decommission_shard",
+                          shard=shard_id)
+        move = RingMove(self, DRAIN, shard_id, **move_opts)
+        self._move = move
+        move.start()
+        return move
+
+    def resize(self, shards: int, **move_opts: Any) -> Future:
+        """Chain ring moves until the store has ``shards`` shards.
+        Resolves with the final shard count."""
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        future = Future(self.sim, label=f"resize->{shards}")
+
+        def script():
+            try:
+                while True:
+                    if self._move is not None:
+                        yield self._move.done
+                    elif len(self.ring.nodes) < shards:
+                        yield self.add_shard(**move_opts).done
+                    elif len(self.ring.nodes) > shards:
+                        yield self.decommission_shard(**move_opts).done
+                    else:
+                        break
+                future.try_resolve(len(self.ring.nodes))
+            except BaseException as exc:
+                future.try_fail(exc)
+                raise
+
+        spawn(self.sim, script(), name=f"resize->{shards}")
+        return future
+
+    def _on_range_flip(self, move: RingMove, counterpart: Hashable,
+                       fingerprint: str, keys: int) -> None:
+        """A range's transfer fingerprint was acked: routing flipped."""
+        self.ring_epoch += 1
+        self.sim.annotate(
+            "handoff", phase="flip", move=move.kind, subject=move.subject,
+            counterpart=counterpart, keys=keys, fingerprint=fingerprint,
+        )
+
+    def _finish_move(self, move: RingMove) -> None:
+        """Every range flipped: commit the membership change."""
+        if move.kind == JOIN:
+            self.ring.add_node(move.subject)
+        else:
+            self.ring.remove_node(move.subject)
+            cluster = self.shards.pop(move.subject)
+            self.shard_ids.remove(move.subject)
+            self._retired.append((move.subject, cluster))
+            for node_id in cluster.server_ids():
+                if self.membership is not None:
+                    self.membership.forget(node_id)
+                node = self.network.node(node_id)
+                if node is not None and not node.crashed:
+                    # The network has no deregister; a retired node is
+                    # crashed so stray messages to it die on arrival.
+                    node.crash()
+        self.ring_epoch += 1
+        self._move = None
+        self._g_shards.set(len(self.shards))
+        self._g_ring_version.set(self.ring.version)
+        self.sim.annotate(
+            "ring", action="committed", move=move.kind,
+            shard=move.subject, version=self.ring.version,
+            shards=len(self.shards),
+        )
+
+    def attach_membership(self, membership: Any) -> None:
+        """Monitor every server node with ``membership`` and keep the
+        overlay in sync across future ring moves."""
+        self.membership = membership
+        membership.watch(self)
+
+    # ------------------------------------------------------------------
+    # Store surface
+    # ------------------------------------------------------------------
     def server_ids(self) -> list[Hashable]:
         return [
             node_id
@@ -161,27 +391,54 @@ class ShardedStore(ConsistentStore):
         ]
 
     def history(self) -> History:
-        """Union of the per-shard histories (keys never span shards,
-        so per-key version orders are unaffected by the merge)."""
+        """Union of the per-shard histories — including retired shards,
+        whose pre-drain operations are part of the record."""
         ops = []
         for shard_id in self.shard_ids:
             ops.extend(self.shards[shard_id].history())
+        for _shard_id, cluster in self._retired:
+            ops.extend(cluster.history())
         return History(ops)
 
     def snapshots(self) -> list[dict]:
-        return [
-            snapshot
-            for shard_id in self.shard_ids
-            for snapshot in self.shards[shard_id].snapshots()
-        ]
+        """Ownership-filtered replica views, merged across shards.
+
+        Replica ``i`` of the sharded store is the union of replica
+        ``i``'s snapshot from every shard, restricted to the keys that
+        shard currently owns — the restriction masks stale donor
+        copies left behind by ring moves.  If every shard's replicas
+        agree internally the merged views are identical, so the
+        standard convergence checker works unchanged."""
+        groups = []
+        for shard_id in self.shard_ids:
+            filtered = [
+                {
+                    key: value for key, value in snapshot.items()
+                    if self.shard_of(key) == shard_id
+                }
+                for snapshot in self.shards[shard_id].snapshots()
+            ]
+            if filtered:
+                groups.append(filtered)
+        if not groups:
+            return []
+        width = max(len(group) for group in groups)
+        merged: list[dict] = []
+        for index in range(width):
+            combined: dict = {}
+            for group in groups:
+                combined.update(group[index % len(group)])
+            merged.append(combined)
+        return merged
 
     def settle(self) -> None:
         for shard_id in self.shard_ids:
             self.shards[shard_id].settle()
 
     def routed_ops(self) -> dict[Hashable, int]:
-        """Ops routed per shard so far (load-balance check)."""
+        """Ops routed per *active* shard so far (load-balance check)."""
         return {
-            shard_id: counter.value
-            for shard_id, counter in self._per_shard_ops.items()
+            shard_id: self._per_shard_ops[shard_id].value
+            for shard_id in self.shard_ids
+            if shard_id in self._per_shard_ops
         }

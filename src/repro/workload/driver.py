@@ -307,6 +307,7 @@ def run_workload(
     retry: Any = None,
     nemesis: Any = None,
     arrivals: Any = None,
+    autoscaler: Any = None,
     **lane_opts: Any,
 ) -> Any:
     """One-call convenience: drive ``ops`` against ``store`` and return
@@ -326,6 +327,10 @@ def run_workload(
     executes alongside the workload.  Healing and settling are left to
     the caller: what post-fault recovery means is protocol- and
     checker-specific.
+
+    ``autoscaler`` — a :class:`repro.membership.Autoscaler` (same
+    ``install``/``stop`` shape) — runs its policy loop alongside the
+    workload, scaling an elastic store while the ops flow.
     """
     if arrivals is not None:
         from .openloop import OpenLoopDriver
@@ -341,8 +346,12 @@ def run_workload(
                            retry=retry, **lane_opts)
     if nemesis is not None:
         nemesis.install(store)
+    if autoscaler is not None:
+        autoscaler.install(store)
     try:
         return driver.run(until)
     finally:
         if nemesis is not None:
             nemesis.stop()
+        if autoscaler is not None:
+            autoscaler.stop()

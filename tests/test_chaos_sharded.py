@@ -1,0 +1,92 @@
+"""Nemesis conformance over the elastic sharded store (satellite).
+
+The chaos suite's contract — converge after heal, lose no acknowledged
+write — must hold when the store under fault is a *sharded* router,
+including under the ``rebalance`` plan that scales the ring while a
+partition is open.
+"""
+
+import pytest
+
+from repro.api import registry
+from repro.chaos import PLANS, Nemesis
+from repro.checkers import (
+    check_convergence,
+    check_no_lost_writes,
+    read_back,
+)
+from repro.perf.harness import HashingTracer
+from repro.sharding import ShardedStore
+from repro.sim import FixedLatency, Network, Simulator
+from repro.workload import YCSBWorkload, run_workload
+
+
+def sharded_chaos_run(plan, seed=42, shards=3, ops=80):
+    """One traced workload-under-nemesis run against a sharded quorum
+    store, healed and settled afterwards."""
+    tracer = HashingTracer()
+    sim = Simulator(seed=seed, tracer=tracer)
+    network = Network(sim, latency=FixedLatency(2.0))
+    store = ShardedStore(sim, network, protocol="quorum", shards=shards,
+                         nodes_per_shard=3)
+    nemesis = Nemesis(plan)
+    workload = YCSBWorkload("A", records=24, seed=seed)
+    result = run_workload(store, workload.take(ops), clients=2,
+                          timeout=250.0, think_time=2.0, nemesis=nemesis)
+    nemesis.heal_all()
+    sim.run()
+    # A ring move started mid-partition stalls on retries until the
+    # heal; run() above also drains any such move to completion.
+    store.settle()
+    sim.run()
+    return sim, store, result, tracer
+
+
+@pytest.mark.parametrize("name", ["partitions", "crashes", "mixed",
+                                  "rebalance"])
+def test_sharded_store_converges_after_heal(name):
+    _sim, store, _result, _tracer = sharded_chaos_run(PLANS[name])
+    verdict = check_convergence(store.snapshots())
+    assert verdict.ok, verdict.violations[:3]
+
+
+@pytest.mark.parametrize("name", ["partitions", "rebalance"])
+def test_sharded_store_loses_no_acked_write(name):
+    _sim, store, result, _tracer = sharded_chaos_run(PLANS[name])
+    written = {op.key for op in result.history if op.is_write}
+    final = read_back(store, written)
+    verdict = check_no_lost_writes(result.history, final)
+    assert verdict.ok, verdict.violations[:3]
+
+
+def test_rebalance_plan_actually_scales_the_ring():
+    sim, store, _result, _tracer = sharded_chaos_run(PLANS["rebalance"])
+    # scale_out fires mid-partition (the move stalls, then completes
+    # after the heal); scale_in may be skipped as busy — the plan must
+    # have grown the ring at some point either way.
+    assert sim.metrics.counter("handoff.ranges_flipped").value > 0
+    assert not store.rebalancing            # nothing left in flight
+    assert len(store.shard_ids) >= 3
+
+
+def test_scale_faults_are_noops_on_inelastic_stores():
+    tracer = HashingTracer()
+    sim = Simulator(seed=42, tracer=tracer)
+    network = Network(sim, latency=FixedLatency(2.0))
+    store = registry.build("quorum", sim, network, nodes=5)
+    nemesis = Nemesis(PLANS["rebalance"])
+    workload = YCSBWorkload("A", records=16, seed=42)
+    result = run_workload(store, workload.take(60), clients=2,
+                          timeout=250.0, think_time=2.0, nemesis=nemesis)
+    nemesis.heal_all()
+    sim.run()
+    store.settle()
+    sim.run()
+    assert result.ops_total == 60
+    assert check_convergence(store.snapshots()).ok
+
+
+def test_rebalance_chaos_replays_bit_identically():
+    digests = [sharded_chaos_run(PLANS["rebalance"])[-1].hexdigest()
+               for _ in range(2)]
+    assert digests[0] == digests[1]

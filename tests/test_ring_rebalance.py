@@ -7,6 +7,7 @@ and every relocated key moves *to* the new node (on add) or *from* the
 departed node (on remove) — no unrelated shuffling.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -63,3 +64,23 @@ def test_round_trip_add_remove_is_identity():
     ring.add_node("d")
     ring.remove_node("d")
     assert assignment(ring) == before
+
+
+def test_remove_last_node_raises_instead_of_emptying_the_ring():
+    # Regression (satellite): removing the final node used to leave an
+    # empty ring whose next coordinator() lookup failed obscurely.
+    ring = HashRing(["only"], vnodes=8)
+    with pytest.raises(ValueError, match="last node"):
+        ring.remove_node("only")
+    # The ring is untouched and still routes.
+    assert ring.nodes == ["only"]
+    assert ring.coordinator("anything") == "only"
+
+
+def test_membership_changes_bump_the_ring_version():
+    ring = HashRing(["a", "b"], vnodes=8)
+    start = ring.version
+    ring.add_node("c")
+    assert ring.version == start + 1
+    ring.remove_node("c")
+    assert ring.version == start + 2
