@@ -50,8 +50,10 @@ from . import (
     crdt,
     errors,
     histories,
+    placement,
     replication,
     rpc,
+    scenarios,
     sharding,
     sim,
     sla,
@@ -84,6 +86,8 @@ __all__ = [
     "workload",
     "analysis",
     "api",
+    "placement",
+    "scenarios",
     "sharding",
     "errors",
     "__version__",

@@ -16,6 +16,7 @@ timeline
 
 from . import registry
 from .store import (
+    READ_PREFERENCES,
     ConsistentStore,
     FnSession,
     StoreCapabilities,
@@ -28,6 +29,7 @@ from .store import (
 from . import adapters  # noqa: E402,F401
 
 __all__ = [
+    "READ_PREFERENCES",
     "ConsistentStore",
     "StoreSession",
     "FnSession",

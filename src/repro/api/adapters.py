@@ -29,10 +29,12 @@ from ..replication import (
     SiblingDynamoCluster,
     TimelineCluster,
 )
+from ..placement import Placement
 from ..sim import Network, Simulator
 from ..sla import SHOPPING_CART, SLA, SLAClient
 from . import registry
 from .store import (
+    READ_PREFERENCES,
     ConsistentStore,
     FnSession,
     StoreCapabilities,
@@ -76,6 +78,63 @@ def _norm_versioned(pair):
     return value, (version or None)
 
 
+def _spread_unplaced(placement: Placement | None, node_ids) -> None:
+    """Region-spread any server nodes no one placed yet.
+
+    The sharded router pre-places each shard's replicas with a
+    per-shard stagger before building the cluster; a standalone store
+    built directly with ``placement=`` gets the default round-robin
+    spread here instead."""
+    if placement is None:
+        return
+    unplaced = [n for n in node_ids if not placement.is_placed(n)]
+    if unplaced:
+        placement.spread(unplaced)
+
+
+def _session_region(store, read_preference, region):
+    """Validate and resolve a session's ``(read_preference, region)``.
+
+    Returns ``(None, None)`` for region-blind sessions.  Otherwise the
+    store must have been built with ``placement=`` and the preference
+    must be declared in its capabilities; ``region`` falls back to the
+    placement's ``default_region``."""
+    if read_preference is None and region is None:
+        return None, None
+    placement = store.placement
+    if placement is None:
+        raise ValueError(
+            f"{store.capabilities.name}: read_preference=/region= need a "
+            "store built with placement="
+        )
+    supported = store.capabilities.read_preferences
+    if read_preference is not None and read_preference not in supported:
+        raise ValueError(
+            f"{store.capabilities.name} does not support read preference "
+            f"{read_preference!r}; have {supported or '()'}"
+        )
+    region = region if region is not None else placement.default_region
+    if region is None:
+        raise ValueError(
+            "session needs region= (placement has no default_region)"
+        )
+    if region not in placement.region_names:
+        raise ValueError(f"unknown region {region!r}")
+    return read_preference, region
+
+
+def _attach_locality(placement, client, region, read_preference) -> None:
+    """Place a session's client node in its region; for the follower
+    and nearest preferences also attach the locality view that makes
+    :meth:`ClientNode.call` order endpoints nearest-first.  The
+    ``primary`` preference deliberately gets *no* locality: the
+    authoritative replica must stay first in failover lists even when
+    it is the remote endpoint."""
+    placement.place(client.node_id, region)
+    if read_preference in ("local_follower", "nearest"):
+        client.locality = placement.locality(region)
+
+
 # ---------------------------------------------------------------------------
 # Dynamo-style quorums (LWW)
 # ---------------------------------------------------------------------------
@@ -87,6 +146,7 @@ def _norm_versioned(pair):
     read_modes=("quorum",),
     failover_reads=True,
     failover_writes=True,
+    read_preferences=READ_PREFERENCES,
 ))
 class QuorumStore(ConsistentStore):
     def __init__(
@@ -100,13 +160,16 @@ class QuorumStore(ConsistentStore):
         admission_rate: float | None = None,
         admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
+        placement: Placement | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
         self.retry = retry
+        self.placement = placement
         self.cluster = DynamoCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
+        _spread_unplaced(placement, self.cluster.ring.nodes)
         _tune_servers(self.cluster.nodes, service_time, queue_limit,
                       admission_rate, admission_burst)
 
@@ -114,10 +177,32 @@ class QuorumStore(ConsistentStore):
         self,
         name: Hashable | None = None,
         retry: RetryPolicy | None = None,
+        read_preference: str | None = None,
+        region: str | None = None,
         **opts: Any,
     ) -> StoreSession:
+        read_preference, region = _session_region(
+            self, read_preference, region
+        )
+        if region is not None and read_preference in (
+            "local_follower", "nearest",
+        ):
+            # Quorum reads still touch R replicas wherever they live;
+            # what locality buys is a same-region *coordinator*, so the
+            # client<->coordinator hop stays off the WAN.
+            ring_nodes = self.cluster.ring.nodes
+            locals_ = self.placement.nodes_in(region, within=ring_nodes)
+            if read_preference == "local_follower" and locals_:
+                opts.setdefault("coordinator", locals_[0])
+            else:
+                opts.setdefault(
+                    "coordinator",
+                    self.placement.locality(region).nearest(ring_nodes),
+                )
         client = self.cluster.connect(session=name, **opts)
         _apply_retry(client, retry, self.retry)
+        if region is not None:
+            _attach_locality(self.placement, client, region, read_preference)
         return FnSession(
             client.session,
             put_fn=lambda k, v, t: client.put(k, v, timeout=t),
@@ -125,6 +210,8 @@ class QuorumStore(ConsistentStore):
             default_mode="quorum",
             client_id=client.node_id,
             client=client,
+            read_preference=read_preference,
+            region=region,
         )
 
     def server_ids(self) -> list[Hashable]:
@@ -178,13 +265,16 @@ class SiblingQuorumStore(ConsistentStore):
         admission_rate: float | None = None,
         admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
+        placement: Placement | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
         self.retry = retry
+        self.placement = placement
         self.cluster = SiblingDynamoCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
+        _spread_unplaced(placement, self.cluster.ring.nodes)
         _tune_servers(self.cluster.nodes, service_time, queue_limit,
                       admission_rate, admission_burst)
 
@@ -248,13 +338,16 @@ class CausalStore(ConsistentStore):
         admission_rate: float | None = None,
         admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
+        placement: Placement | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
         self.retry = retry
+        self.placement = placement
         self.cluster = CausalCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
+        _spread_unplaced(placement, self.cluster.node_ids)
         _tune_servers(self.cluster.replicas, service_time, queue_limit,
                       admission_rate, admission_burst)
         self._next_home = 0
@@ -316,6 +409,7 @@ class CausalStore(ConsistentStore):
     read_modes=("any", "critical", "latest"),
     session_guarantees=("ryw", "mr", "mw", "wfr"),
     failover_reads=True,
+    read_preferences=READ_PREFERENCES,
 ))
 class TimelineStore(ConsistentStore):
     def __init__(
@@ -329,13 +423,24 @@ class TimelineStore(ConsistentStore):
         admission_rate: float | None = None,
         admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
+        placement: Placement | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
         self.retry = retry
+        self.placement = placement
         self.cluster = TimelineCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
+        _spread_unplaced(placement, self.cluster.node_ids)
+        if placement is not None:
+            # The write-forwarding proxy is an extra network node; it
+            # lives with the first replica so forwarded writes pay one
+            # WAN hop, not a mystery-region hop.
+            placement.place(
+                self.cluster._forwarder.node_id,
+                placement.region_of(self.cluster.node_ids[0]),
+            )
         _tune_servers(self.cluster.replicas, service_time, queue_limit,
                       admission_rate, admission_burst)
 
@@ -346,10 +451,35 @@ class TimelineStore(ConsistentStore):
         retry_delay: float = 10.0,
         spread_replicas: bool = False,
         retry: RetryPolicy | None = None,
+        read_preference: str | None = None,
+        region: str | None = None,
         **opts: Any,
     ) -> StoreSession:
+        read_preference, region = _session_region(
+            self, read_preference, region
+        )
+        default_mode = "any"
+        if region is not None:
+            node_ids = self.cluster.node_ids
+            if read_preference == "primary":
+                # Authoritative reads: the record master, wherever it is.
+                default_mode = "latest"
+            elif read_preference == "local_follower":
+                locals_ = self.placement.nodes_in(region, within=node_ids)
+                opts.setdefault(
+                    "home",
+                    locals_[0] if locals_
+                    else self.placement.locality(region).nearest(node_ids),
+                )
+            elif read_preference == "nearest":
+                opts.setdefault(
+                    "home",
+                    self.placement.locality(region).nearest(node_ids),
+                )
         client = self.cluster.connect(session=name, **opts)
         _apply_retry(client, retry, self.retry)
+        if region is not None:
+            _attach_locality(self.placement, client, region, read_preference)
         if guarantees is not None:
             wrapped = timeline_session(
                 client, guarantees=guarantees, retry_delay=retry_delay,
@@ -371,9 +501,11 @@ class TimelineStore(ConsistentStore):
                         _norm_versioned,
                     ),
                 },
-                default_mode="any",
+                default_mode=default_mode,
                 client_id=client.node_id,
                 client=client,
+                read_preference=read_preference,
+                region=region,
             )
             session.session_client = wrapped
             return session
@@ -392,9 +524,11 @@ class TimelineStore(ConsistentStore):
                     self.sim, client.read_latest(k, timeout=t), _norm_versioned
                 ),
             },
-            default_mode="any",
+            default_mode=default_mode,
             client_id=client.node_id,
             client=client,
+            read_preference=read_preference,
+            region=region,
         )
 
     def server_ids(self) -> list[Hashable]:
@@ -434,12 +568,15 @@ class BayouStore(ConsistentStore):
         node_ids: list[Hashable] | None = None,
         service_time: float = 0.0,  # noqa: ARG002 - direct-attach, no queue
         retry: RetryPolicy | None = None,  # noqa: ARG002 - no RPC path
+        placement: Placement | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
+        self.placement = placement
         self.cluster = BayouCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
+        _spread_unplaced(placement, self.cluster.node_ids)
         self._next_replica = 0
         self._sessions = 0
 
@@ -513,6 +650,7 @@ class BayouStore(ConsistentStore):
     # primary: holds for single-attempt primary reads, not for reads
     # that failed over to a possibly-stale backup.
     linearizable_read_modes=("primary",),
+    read_preferences=READ_PREFERENCES,
 ))
 class PrimaryBackupStore(ConsistentStore):
     def __init__(
@@ -527,12 +665,17 @@ class PrimaryBackupStore(ConsistentStore):
         admission_burst: float | None = None,
         mode: str = "async",
         retry: RetryPolicy | None = None,
+        placement: Placement | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
         self.retry = retry
+        self.placement = placement
         self.cluster = PrimaryBackupCluster(
             sim, network, n=nodes, mode=mode, node_ids=node_ids, **kwargs
+        )
+        _spread_unplaced(
+            placement, [r.node_id for r in self.cluster.replicas]
         )
         _tune_servers(self.cluster.replicas, service_time, queue_limit,
                       admission_rate, admission_burst)
@@ -541,19 +684,52 @@ class PrimaryBackupStore(ConsistentStore):
         self,
         name: Hashable | None = None,
         retry: RetryPolicy | None = None,
+        read_preference: str | None = None,
+        region: str | None = None,
         **opts: Any,
     ) -> StoreSession:
+        read_preference, region = _session_region(
+            self, read_preference, region
+        )
         client = self.cluster.connect(session=name, **opts)
         _apply_retry(client, retry, self.retry)
+        default_mode = "primary"
 
-        def read_backup(key, timeout):
-            backups = self.cluster.backups
-            target = backups[0] if backups else self.cluster.primary
-            return mapped_future(
-                self.sim, client.get(key, replica=target, timeout=timeout),
-                _norm_versioned,
-            )
+        if read_preference in ("local_follower", "nearest"):
+            default_mode = "backup"
+            placement = self.placement
+            locality = placement.locality(region)
 
+            def read_backup(key, timeout):
+                # Re-resolved per read so a promotion (region failover)
+                # re-routes follower reads without reopening sessions.
+                replicas = self.cluster.replicas
+                locals_ = [
+                    r for r in replicas
+                    if placement.region_of(r.node_id) == region
+                ]
+                if read_preference == "local_follower" and locals_:
+                    target = locals_[0]
+                else:
+                    target = min(
+                        replicas, key=lambda r: locality.delay_to(r.node_id)
+                    )
+                return mapped_future(
+                    self.sim,
+                    client.get(key, replica=target, timeout=timeout),
+                    _norm_versioned,
+                )
+        else:
+            def read_backup(key, timeout):
+                backups = self.cluster.backups
+                target = backups[0] if backups else self.cluster.primary
+                return mapped_future(
+                    self.sim, client.get(key, replica=target, timeout=timeout),
+                    _norm_versioned,
+                )
+
+        if region is not None:
+            _attach_locality(self.placement, client, region, read_preference)
         return FnSession(
             client.session,
             put_fn=lambda k, v, t: client.put(k, v, timeout=t),
@@ -563,9 +739,11 @@ class PrimaryBackupStore(ConsistentStore):
                 ),
                 "backup": read_backup,
             },
-            default_mode="primary",
+            default_mode=default_mode,
             client_id=client.node_id,
             client=client,
+            read_preference=read_preference,
+            region=region,
         )
 
     def server_ids(self) -> list[Hashable]:
@@ -605,12 +783,17 @@ class ChainStore(ConsistentStore):
         admission_rate: float | None = None,
         admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
+        placement: Placement | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
         self.retry = retry
+        self.placement = placement
         self.cluster = ChainCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
+        )
+        _spread_unplaced(
+            placement, [r.node_id for r in self.cluster.replicas]
         )
         _tune_servers(self.cluster.replicas, service_time, queue_limit,
                       admission_rate, admission_burst)
@@ -677,13 +860,16 @@ class MultiPaxosStore(ConsistentStore):
         admission_burst: float | None = None,
         elect: bool = True,
         retry: RetryPolicy | None = None,
+        placement: Placement | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
         self.retry = retry
+        self.placement = placement
         self.cluster = MultiPaxosCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
+        _spread_unplaced(placement, self.cluster.node_ids)
         _tune_servers(self.cluster.replicas, service_time, queue_limit,
                       admission_rate, admission_burst)
         if elect:
@@ -770,13 +956,21 @@ class PileusStore(ConsistentStore):
         admission_rate: float | None = None,
         admission_burst: float | None = None,
         retry: RetryPolicy | None = None,
+        placement: Placement | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
         self.retry = retry
+        self.placement = placement
         self.cluster = TimelineCluster(
             sim, network, nodes=nodes, node_ids=node_ids, **kwargs
         )
+        _spread_unplaced(placement, self.cluster.node_ids)
+        if placement is not None:
+            placement.place(
+                self.cluster._forwarder.node_id,
+                placement.region_of(self.cluster.node_ids[0]),
+            )
         _tune_servers(self.cluster.replicas, service_time, queue_limit,
                       admission_rate, admission_burst)
 
@@ -786,14 +980,26 @@ class PileusStore(ConsistentStore):
         sla: SLA = SHOPPING_CART,
         target: Hashable | None = None,
         retry: RetryPolicy | None = None,
+        region: str | None = None,
         **opts: Any,
     ) -> StoreSession:
+        _pref, region = _session_region(self, None, region)
         client = self.cluster.connect(session=name, **opts)
         _apply_retry(client, retry, self.retry)
         if target is not None:
             sla_client = FixedTargetSLAClient(client, target)
         else:
             sla_client = SLAClient(client)
+        if region is not None:
+            # Per-tenant region origin: the session's client node lives
+            # in its region and the monitor starts from the *real* WAN
+            # round trips instead of the flat default, so sub-SLA
+            # selection reflects geography from the first read.
+            self.placement.place(client.node_id, region)
+            for node_id in self.cluster.node_ids:
+                sla_client.monitor.latency[node_id] = 2 * self.placement.delay(
+                    region, self.placement.region_of(node_id)
+                )
 
         session = FnSession(
             client.session,
@@ -808,6 +1014,7 @@ class PileusStore(ConsistentStore):
             default_mode="sla",
             client_id=client.node_id,
             client=client,
+            region=region,
         )
         session.sla_client = sla_client
         return session

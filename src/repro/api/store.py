@@ -36,6 +36,18 @@ from typing import Any, Callable, Hashable
 from ..histories import History
 from ..sim import Future, Network, Simulator
 
+#: The read preferences a region-aware session may request.
+#:
+#: * ``primary`` — route reads to the authoritative replica (master,
+#:   coordinator, primary) wherever it lives; strongest semantics, WAN
+#:   round trips when the primary is remote.
+#: * ``local_follower`` — read a replica in the session's own region;
+#:   eventual/bounded-staleness semantics at intra-region latency.
+#: * ``nearest`` — read whichever replica is cheapest to reach from
+#:   the session's region (the local one when the region holds a
+#:   replica, else the closest remote region).
+READ_PREFERENCES = ("primary", "local_follower", "nearest")
+
 
 @dataclass(frozen=True)
 class StoreCapabilities:
@@ -86,6 +98,11 @@ class StoreCapabilities:
     #: ``add_shard()`` / ``decommission_shard()`` mid-run (the elastic
     #: sharded router; fixed single clusters say False).
     elastic: bool = False
+    #: Read preferences honoured by ``session(read_preference=...,
+    #: region=...)`` when the store was built with a
+    #: :class:`~repro.placement.Placement` (subset of
+    #: :data:`READ_PREFERENCES`; empty = region-blind adapter).
+    read_preferences: tuple[str, ...] = ()
     #: Guarantees this adapter explicitly does *not* defend under
     #: injected faults, as ``(guarantee, reason)`` pairs.  The chaos
     #: runner reports them as WAIVED instead of failing — a waiver is
@@ -112,6 +129,11 @@ class StoreSession(ABC):
     name: Hashable
     #: The session's network node id, when it is a network client.
     client_id: Hashable | None = None
+    #: The read preference this session was opened with (one of
+    #: :data:`READ_PREFERENCES`), or ``None`` for region-blind sessions.
+    read_preference: str | None = None
+    #: The region this session originates from, when placed.
+    region: str | None = None
 
     @abstractmethod
     def put(
@@ -146,10 +168,14 @@ class FnSession(StoreSession):
         default_mode: str,
         client_id: Hashable | None = None,
         client: Any = None,
+        read_preference: str | None = None,
+        region: str | None = None,
     ) -> None:
         self.name = name
         self.client_id = client_id
         self.client = client           # underlying protocol client (escape hatch)
+        self.read_preference = read_preference
+        self.region = region
         self._put_fn = put_fn
         self._read_fns = read_fns
         self._default_mode = default_mode
@@ -185,6 +211,11 @@ class ConsistentStore(ABC):
     """
 
     capabilities: StoreCapabilities
+
+    #: The :class:`~repro.placement.Placement` the store was built
+    #: with, when region-aware (adapters accepting ``placement=`` set
+    #: it; the nemesis and routing layers read it duck-typed).
+    placement = None
 
     def __init__(self, sim: Simulator, network: Network) -> None:
         self.sim = sim

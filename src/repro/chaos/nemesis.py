@@ -183,6 +183,33 @@ class Nemesis:
             raise SimulationError(f"unknown partition shape {shape!r}")
         self.sim.annotate("chaos", fault="partition", shape=shape)
 
+    def _do_region_partition(self, plan_step: FaultStep) -> None:
+        """Cut an entire region off the WAN: every node placed there —
+        servers *and* clients — loses contact with the rest of the
+        world (they still talk to each other)."""
+        placement = getattr(self.store, "placement", None)
+        if placement is None:
+            self.sim.annotate("chaos", fault="region_partition",
+                              skipped="unplaced")
+            return
+        region = plan_step.param("region")
+        if region is None:
+            region = self.rng.choice(sorted(placement.region_names))
+        known = set(self.network.node_ids)
+        lost = [
+            node_id for node_id in placement.nodes_in(region)
+            if node_id in known
+        ]
+        if not lost:
+            self.sim.annotate("chaos", fault="region_partition",
+                              region=region, skipped="empty")
+            return
+        # One explicit group; everything else lands in partition()'s
+        # implicit rest-of-world group.
+        self.network.partition(lost)
+        self.sim.annotate("chaos", fault="region_partition", region=region,
+                          nodes=len(lost))
+
     def _do_heal(self, plan_step: FaultStep) -> None:
         self.network.heal()
         self.network.clear_link_faults()

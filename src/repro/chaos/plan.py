@@ -5,6 +5,8 @@ params)`` — over the fault vocabulary of the tutorial's failure axes:
 
 ============  =============================================================
 ``partition`` split the network (``shape``: ``halves``/``ring``/``bridge``)
+``region_partition`` cut one whole region off (``region``: name, or the
+              nemesis picks one; needs a region-placed store)
 ``heal``      remove the partition and every link fault
 ``crash``     fail-stop a server (``target``: ``coordinator``/``random``/id)
 ``recover``   restart crashed servers (``target``: ``all``/``random``/id)
@@ -35,6 +37,7 @@ from typing import Any, Iterable, Mapping
 
 FAULTS = (
     "partition",
+    "region_partition",
     "heal",
     "crash",
     "recover",
@@ -262,6 +265,10 @@ PLANS: dict[str, FaultPlan] = {
         step("heal", at=160),
         step("scale_in", at=420),
         step("heal", at=560),
+    )),
+    "region_loss": FaultPlan("region_loss", (
+        step("region_partition", at=40),
+        step("heal", at=400),
     )),
     "mixed": FaultPlan("mixed", (
         step("partition", at=40, shape="halves"),

@@ -16,6 +16,9 @@ Commands
                         arrivals); ``--storm`` runs the hot-key storm demo
 ``scale``               elastic-scaling demo: live ring moves under
                         open-loop load, durability + convergence verdicts
+``multiregion``         flagship multi-region scenario: sharded clusters
+                        spread over three continents, follower reads,
+                        region loss + failover, RTO/RPO per protocol
 ``selftest``            import every module and run a smoke simulation
 
 The heavyweight experiment tables live in ``benchmarks/`` (run with
@@ -478,6 +481,35 @@ def cmd_scale(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_multiregion(args: argparse.Namespace) -> int:
+    """Run the multi-region flagship scenario (``repro multiregion``).
+
+    Exit status: 0 when every protocol recovers from the region loss,
+    local follower reads beat cross-region primary reads, and the
+    quorum leg loses no acknowledged write; 1 on any verdict failure
+    or (with ``--check-determinism``) fingerprint drift between runs.
+    """
+    from .scenarios import format_multiregion, run_multiregion
+
+    protocols = tuple(args.protocol) or ("timeline", "primary_backup",
+                                         "quorum")
+    knobs = dict(seed=args.seed, protocols=protocols, quick=args.quick)
+    try:
+        report = run_multiregion(**knobs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_multiregion(report))
+    if args.check_determinism:
+        again = run_multiregion(**knobs)
+        if again.fingerprint != report.fingerprint:
+            print("\nFAIL: multiregion trace fingerprint drifted between "
+                  "two identical runs", file=sys.stderr)
+            return 1
+        print("\ndeterminism: identical fingerprints on a second run")
+    return 0 if report.ok else 1
+
+
 def cmd_selftest(_args: argparse.Namespace) -> int:
     import pkgutil
 
@@ -689,6 +721,25 @@ def main(argv: list[str] | None = None) -> int:
         help="run twice, fail on trace fingerprint drift",
     )
 
+    multiregion_parser = sub.add_parser(
+        "multiregion",
+        help="multi-region flagship: region loss, failover, RTO/RPO",
+    )
+    multiregion_parser.add_argument("--seed", type=int, default=42)
+    multiregion_parser.add_argument(
+        "--protocol", action="append", default=[],
+        help="run only this protocol leg (repeatable; default: "
+             "timeline, primary_backup, quorum)",
+    )
+    multiregion_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke scale: fewer shards and keys",
+    )
+    multiregion_parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="run twice, fail on trace fingerprint drift",
+    )
+
     sub.add_parser("selftest", help="import everything + smoke simulation")
 
     args = parser.parse_args(argv)
@@ -703,6 +754,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": cmd_chaos,
         "load": cmd_load,
         "scale": cmd_scale,
+        "multiregion": cmd_multiregion,
         "selftest": cmd_selftest,
     }
     return handlers[args.command](args)

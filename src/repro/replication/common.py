@@ -92,6 +92,11 @@ class ClientNode(Node):
         #: Default policy applied by :meth:`call` when none is passed
         #: explicitly (set by the store adapters' ``retry=`` option).
         self.retry: RetryPolicy | None = None
+        #: Optional :class:`~repro.placement.LocalityMap` set by
+        #: region-aware sessions.  When present, :meth:`call` orders
+        #: multi-endpoint destinations nearest-region-first and the RPC
+        #: engine publishes ``rpc.attempts_local`` / ``attempts_remote``.
+        self.locality = None
         self._rpc_counters = rpc_counters(sim.metrics)
 
     # ------------------------------------------------------------------
@@ -121,6 +126,13 @@ class ClientNode(Node):
         self._next_request += 1
         request_id = self._next_request
         future = Future(self.sim, label=f"req#{request_id}->{dst}")
+        if self.locality is not None:
+            # Locality accounting only exists for region-placed clients;
+            # the counters are created lazily, so region-blind scenarios
+            # keep their metrics snapshots (and fingerprints) unchanged.
+            name = ("attempts_local" if self.locality.is_local(dst)
+                    else "attempts_remote")
+            self.sim.metrics.counter(f"rpc.{name}").inc()
         self.send(dst, Request(request_id, payload, idempotency_key))
         timer = (
             self.set_timer(timeout, self._timeout, request_id)
@@ -197,6 +209,10 @@ class ClientNode(Node):
         server.
         """
         endpoints = list(dst) if isinstance(dst, (list, tuple)) else [dst]
+        if self.locality is not None and len(endpoints) > 1:
+            # Stable sort: among same-region endpoints the caller's
+            # preference order (coordinator first, home first) holds.
+            endpoints = self.locality.order(endpoints)
         policy = policy if policy is not None else self.retry
         if policy is None:
             return self.request(endpoints[0], payload, timeout)

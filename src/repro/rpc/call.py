@@ -102,6 +102,8 @@ class RpcCall:
                 return
             timeout = remaining if timeout is None else min(timeout, remaining)
         endpoint = self._next_endpoint()
+        locality = getattr(self.client, "locality", None)
+        local = locality.is_local(endpoint) if locality is not None else None
         if hedge:
             self.hedges += 1
             self._metrics["hedges"].inc()
@@ -113,6 +115,10 @@ class RpcCall:
             self.attempts += 1
             if self.attempts > 1 and endpoint != self.endpoints[0]:
                 self._metrics["failovers"].inc()
+                if local is False:
+                    self.sim.metrics.counter(
+                        "rpc.cross_region_failovers"
+                    ).inc()
                 self.sim.annotate(
                     "rpc_failover", client=self.client.node_id,
                     endpoint=endpoint,

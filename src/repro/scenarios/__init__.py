@@ -1,0 +1,24 @@
+"""Flagship end-to-end scenarios combining several subsystems.
+
+Unlike the benchmarks (one experiment per file) and the conformance
+suites (one property per store), a scenario is a *story*: a seeded,
+fingerprinted deployment exercised through a full operational arc —
+traffic, fault, failover, recovery — with the checkers delivering the
+verdicts.  ``repro.sharding.demo`` (elastic scaling) was the first;
+:mod:`repro.scenarios.multiregion` (geo-replication with a region
+loss) is the second.
+"""
+
+from .multiregion import (
+    MultiRegionReport,
+    ProtocolOutcome,
+    format_multiregion,
+    run_multiregion,
+)
+
+__all__ = [
+    "MultiRegionReport",
+    "ProtocolOutcome",
+    "run_multiregion",
+    "format_multiregion",
+]

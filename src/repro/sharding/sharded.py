@@ -65,6 +65,8 @@ class ShardedSession(StoreSession):
                  session_opts: dict) -> None:
         self.name = name
         self.client_id = None
+        self.read_preference = session_opts.get("read_preference")
+        self.region = session_opts.get("region")
         self._store = store
         self._opts = session_opts
         self._epoch = store.ring_epoch
@@ -138,6 +140,7 @@ class ShardedStore(ConsistentStore):
         nodes_per_shard: int = 3,
         vnodes: int = 64,
         service_time: float = 0.0,
+        placement: Any = None,
         **cluster_kwargs: Any,
     ) -> None:
         super().__init__(sim, network)
@@ -149,6 +152,7 @@ class ShardedStore(ConsistentStore):
         self.vnodes = vnodes
         self._nodes_per_shard = nodes_per_shard
         self._service_time = service_time
+        self.placement = placement
         self._cluster_kwargs = dict(cluster_kwargs)
         self.shard_ids = [f"shard{i}" for i in range(shards)]
         self._next_shard = shards
@@ -156,6 +160,10 @@ class ShardedStore(ConsistentStore):
         #: Bumped on every routing change a session could have cached
         #: across: per-range flips and ring membership changes.
         self.ring_epoch = 0
+        #: Clusters built so far — the per-shard placement stagger, so
+        #: shard i's first replica lands in region i % len(regions)
+        #: instead of every shard leading from the same region.
+        self._built = 0
         self.shards: dict[Hashable, ConsistentStore] = {}
         for shard_id in self.shard_ids:
             self.shards[shard_id] = self._build_cluster(shard_id)
@@ -180,6 +188,10 @@ class ShardedStore(ConsistentStore):
             failover_reads=spec.capabilities.failover_reads,
             failover_writes=spec.capabilities.failover_writes,
             elastic=True,
+            read_preferences=(
+                spec.capabilities.read_preferences
+                if placement is not None else ()
+            ),
         )
         metrics = sim.metrics
         self._ops_routed = metrics.counter("shard.ops_routed")
@@ -197,10 +209,18 @@ class ShardedStore(ConsistentStore):
         node_ids = [
             f"{shard_id}-n{j}" for j in range(self._nodes_per_shard)
         ]
+        kwargs = dict(self._cluster_kwargs)
+        if self.placement is not None:
+            # Pre-place this shard's replicas with a per-shard stagger
+            # (every region leads some shards), then hand the placement
+            # down so the per-shard adapter wires follower reads.
+            self.placement.spread(node_ids, start=self._built)
+            kwargs["placement"] = self.placement
+        self._built += 1
         return self.spec.build(
             self.sim, self.network, nodes=self._nodes_per_shard,
             node_ids=node_ids, service_time=self._service_time,
-            **self._cluster_kwargs,
+            **kwargs,
         )
 
     # ------------------------------------------------------------------
@@ -223,6 +243,23 @@ class ShardedStore(ConsistentStore):
         if move is None:
             return None
         return move.write_blocked(key)
+
+    def routing_table(self, region: str) -> dict:
+        """Per-region routing: shard id -> locality-ordered server ids.
+
+        A pure function of shard membership and placement — vnode
+        layout and ring version bumps do not perturb it (pinned by the
+        property tests), so region-local routers can cache it across
+        rebalances that keep membership unchanged.
+        """
+        if self.placement is None:
+            raise ValueError("routing_table needs a store built with "
+                             "placement=")
+        locality = self.placement.locality(region)
+        return {
+            shard_id: locality.order(self.shards[shard_id].server_ids())
+            for shard_id in self.shard_ids
+        }
 
     def _count_route(self, shard_id: Hashable) -> None:
         counter = self._per_shard_ops.get(shard_id)

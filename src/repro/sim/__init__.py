@@ -31,6 +31,7 @@ from .topology import (
     US_TRIANGLE,
     WORLD5,
     Topology,
+    asymmetric_delays,
     round_robin_placement,
     symmetric_delays,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "US_TRIANGLE",
     "WORLD5",
     "THREE_CONTINENTS",
+    "asymmetric_delays",
     "round_robin_placement",
     "symmetric_delays",
 ]

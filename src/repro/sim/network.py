@@ -340,6 +340,8 @@ class Network:
         self.stats = NetworkStats(sim.metrics)
         self._nodes: dict[NodeId, Any] = {}
         self._partition: dict[NodeId, int] | None = None
+        # Group index late-registered nodes fall into while partitioned.
+        self._partition_leftover = 0
         # Per-pair fault state, keyed by frozenset({a, b}); empty in
         # healthy runs so the send hot path pays one truthiness check.
         self._link_faults: dict[frozenset, LinkFault] = {}
@@ -396,7 +398,11 @@ class Network:
     def partition(self, *groups: Iterable) -> None:
         """Split the network: messages cross group boundaries only to be
         dropped.  Nodes not named in any group form one extra implicit
-        group.  Replaces any existing partition."""
+        group — including nodes registered *after* the split, so a
+        client connecting mid-partition shares the leftover group with
+        the unnamed rest of the world (and with other late arrivals)
+        instead of being marooned alone.  Replaces any existing
+        partition."""
         assignment: dict[NodeId, int] = {}
         for index, group in enumerate(groups):
             for node_id in group:
@@ -410,6 +416,7 @@ class Network:
             if node_id not in assignment:
                 assignment[node_id] = leftover
         self._partition = assignment
+        self._partition_leftover = leftover
 
     def heal(self) -> None:
         """Remove the partition; in-flight messages already dropped stay
@@ -419,11 +426,11 @@ class Network:
     def reachable(self, src: NodeId, dst: NodeId) -> bool:
         if src == dst:
             return True
-        if (
-            self._partition is not None
-            and self._partition.get(src) != self._partition.get(dst)
-        ):
-            return False
+        if self._partition is not None:
+            leftover = self._partition_leftover
+            if (self._partition.get(src, leftover)
+                    != self._partition.get(dst, leftover)):
+                return False
         if self._link_faults:
             fault = self._link_faults.get(frozenset((src, dst)))
             if fault is not None and fault.down:
@@ -530,7 +537,8 @@ class Network:
         if (
             self._partition is not None
             and src != dst
-            and self._partition.get(src) != self._partition.get(dst)
+            and self._partition.get(src, self._partition_leftover)
+            != self._partition.get(dst, self._partition_leftover)
         ):
             stats._messages_dropped_partition.inc()
             if tracing:

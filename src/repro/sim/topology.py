@@ -18,16 +18,25 @@ from .network import MatrixLatency
 
 @dataclass(frozen=True)
 class Topology:
-    """A set of named sites and symmetric one-way delays between them.
+    """A set of named sites and one-way delays between them.
 
     ``intra_site`` is the one-way delay between two nodes in the same
-    datacenter.
+    datacenter.  Delays are looked up directed first, so an entry for
+    ``(a, b)`` and a different one for ``(b, a)`` model an asymmetric
+    link; a single entry serves both directions (the symmetric common
+    case).
+
+    ``regions`` optionally groups sites into named regions (e.g. a
+    region with several availability zones).  When omitted, every site
+    is its own singleton region — the geo presets below all behave
+    that way.
     """
 
     name: str
     sites: tuple[str, ...]
     delays: dict[tuple[str, str], float] = field(hash=False)
     intra_site: float = 0.5
+    regions: dict[str, tuple[str, ...]] | None = field(default=None, hash=False)
 
     def delay(self, a: str, b: str) -> float:
         """One-way delay between sites ``a`` and ``b``."""
@@ -37,6 +46,31 @@ class Topology:
         if value is None:
             raise NetworkError(f"no delay between {a!r} and {b!r} in {self.name}")
         return value
+
+    @property
+    def region_names(self) -> tuple[str, ...]:
+        """Region names, in declaration order (sites when ungrouped)."""
+        if self.regions is None:
+            return self.sites
+        return tuple(self.regions)
+
+    def region_of(self, site: str) -> str:
+        """The region a site belongs to (itself when ungrouped)."""
+        if self.regions is not None:
+            for region, sites in self.regions.items():
+                if site in sites:
+                    return region
+        if site in self.sites:
+            return site
+        raise NetworkError(f"unknown site {site!r} in {self.name}")
+
+    def sites_in(self, region: str) -> tuple[str, ...]:
+        """The sites grouped under ``region`` (a singleton when ungrouped)."""
+        if self.regions is not None and region in self.regions:
+            return self.regions[region]
+        if region in self.sites:
+            return (region,)
+        raise NetworkError(f"unknown region {region!r} in {self.name}")
 
     def latency_model(
         self,
@@ -59,10 +93,19 @@ class Topology:
         return MatrixLatency(matrix, site_of=lambda n: mapping[n], jitter=jitter)
 
     def nearest_site(self, origin: str, candidates: list[str]) -> str:
-        """The candidate site with the lowest delay from ``origin``."""
+        """The candidate site with the lowest delay from ``origin``.
+
+        Ties break deterministically on candidate order: among
+        equidistant sites the one listed *first* wins, regardless of
+        name.  Callers therefore control tie preference by ordering
+        the candidate list.
+        """
         if not candidates:
             raise NetworkError("no candidate sites")
-        return min(candidates, key=lambda s: self.delay(origin, s))
+        return min(
+            enumerate(candidates),
+            key=lambda pair: (self.delay(origin, pair[1]), pair[0]),
+        )[1]
 
 
 def symmetric_delays(
@@ -73,6 +116,30 @@ def symmetric_delays(
     out = dict(pairs)
     for (a, b), v in pairs.items():
         out[(b, a)] = v
+    return out
+
+
+def asymmetric_delays(
+    forward: dict[tuple[str, str], float],
+    reverse: dict[tuple[str, str], float] | None = None,
+    skew: float = 1.0,
+) -> dict[tuple[str, str], float]:
+    """Build a directed delay table for asymmetric WAN links.
+
+    Each ``forward`` entry ``(a, b) -> v`` also gets a reverse entry
+    ``(b, a) -> v * skew`` (real WAN paths are rarely symmetric:
+    transit routing and congestion differ per direction).  Explicit
+    ``reverse`` entries override the skewed default, so individual
+    links can be pinned precisely::
+
+        asymmetric_delays({("us", "eu"): 40.0}, skew=1.15)
+        # {("us","eu"): 40.0, ("eu","us"): 46.0}
+    """
+    out = dict(forward)
+    for (a, b), v in forward.items():
+        out.setdefault((b, a), v * skew)
+    if reverse:
+        out.update(reverse)
     return out
 
 
@@ -141,4 +208,6 @@ TOPOLOGIES: dict[str, Topology] = {
 
 def round_robin_placement(node_ids: list, sites: tuple[str, ...]) -> dict:
     """Assign nodes to sites round-robin — the default replica layout."""
+    if not sites:
+        raise NetworkError("cannot place nodes: no sites given")
     return {node: sites[i % len(sites)] for i, node in enumerate(node_ids)}

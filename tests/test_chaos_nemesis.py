@@ -149,6 +149,95 @@ def test_clock_skew_sets_offset_and_heal_all_clears_it():
     assert not nemesis.skewed
 
 
+def region_store(seed=2):
+    from repro.placement import Placement
+    from repro.sim import THREE_CONTINENTS
+
+    sim = Simulator(seed=seed)
+    placement = Placement(THREE_CONTINENTS, default_region="eu")
+    network = Network(sim, latency=placement.latency_model(jitter=0.0))
+    store = registry.build("quorum", sim, network, nodes=3,
+                           placement=placement)
+    return sim, network, placement, store
+
+
+def test_region_partition_cuts_the_whole_region_off():
+    sim, network, placement, store = region_store()
+    plan = FaultPlan("regional", (
+        step("region_partition", at=5.0, region="us-east"),
+    ))
+    nemesis = Nemesis(plan)
+    nemesis.install(store)
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert network.partitioned
+    lost = placement.nodes_in("us-east",
+                              within=store.cluster.ring.nodes)
+    survivors = [n for n in store.cluster.ring.nodes if n not in lost]
+    for gone in lost:
+        for alive in survivors:
+            assert not network.reachable(gone, alive)
+    for a in survivors:
+        for b in survivors:
+            assert network.reachable(a, b)
+    nemesis.heal_all()
+    assert not network.partitioned
+
+
+def test_region_partition_on_unplaced_store_is_a_noop():
+    sim = Simulator(seed=1)
+    network = Network(sim, latency=FixedLatency(2.0))
+    store = registry.build("quorum", sim, network, nodes=3)
+    plan = FaultPlan("regional", (
+        step("region_partition", at=5.0, region="us-east"),
+    ))
+    nemesis = Nemesis(plan)
+    nemesis.install(store)
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert not network.partitioned
+    # The skip is visible in the trace counters, not silent.
+    assert sim.metrics.counter("chaos.region_partition").value == 1
+
+
+def test_region_partition_with_empty_region_is_a_noop():
+    sim, network, _placement, store = region_store()
+    # No node is placed in the chosen region once we aim at a region
+    # whose nodes were never registered on this network.
+    plan = FaultPlan("regional", (
+        step("region_partition", at=5.0, region="asia"),
+    ))
+    # Re-place asia's replica into eu so asia is empty.
+    placement = store.placement
+    for node in placement.nodes_in("asia"):
+        placement.place(node, "eu")
+    nemesis = Nemesis(plan)
+    nemesis.install(store)
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert not network.partitioned
+
+
+def test_region_partition_picks_a_region_deterministically_when_unset():
+    digests = []
+    for _ in range(2):
+        sim, network, _placement, store = region_store(seed=9)
+        plan = FaultPlan("regional", (step("region_partition", at=5.0),))
+        nemesis = Nemesis(plan, seed=4)
+        nemesis.install(store)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        groups = [
+            tuple(sorted(
+                n for n in store.cluster.ring.nodes
+                if not network.reachable(n, store.cluster.ring.nodes[0])
+            ))
+        ]
+        digests.append(tuple(groups))
+        assert network.partitioned
+    assert digests[0] == digests[1]
+
+
 def test_heal_all_recovers_crashed_nodes():
     _sim, _net, store, nemesis, _res, _tr = chaos_run(
         plan=PLANS["crashes"], heal=False)

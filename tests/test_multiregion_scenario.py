@@ -1,0 +1,70 @@
+"""Smoke + determinism tests for the multi-region flagship scenario.
+
+The full-size arc and its tables live in ``benchmarks/`` (E18); these
+are the quick-scale invariants tier-1 pins on every run.
+"""
+
+import pytest
+
+from repro.scenarios import format_multiregion, run_multiregion
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_multiregion(seed=42, quick=True)
+
+
+def test_quick_arc_passes(quick_report):
+    assert quick_report.ok
+    assert [o.protocol for o in quick_report.outcomes] == \
+        ["timeline", "primary_backup", "quorum"]
+
+
+def test_every_protocol_recovers_with_a_measured_rto(quick_report):
+    for outcome in quick_report.outcomes:
+        assert outcome.recovered, outcome.protocol
+        # Recovery cannot precede the region loss at t=400ms.
+        assert outcome.rto_ms is not None and 0 < outcome.rto_ms < 1000.0
+        assert outcome.writes_acked > 0
+        assert outcome.keys_checked > 0
+
+
+def test_quorum_loses_no_acked_write(quick_report):
+    # w=2 of 3 with one replica per region: every ack set intersects
+    # the two surviving regions, so a single-region loss has RPO 0.
+    quorum = next(
+        o for o in quick_report.outcomes if o.protocol == "quorum"
+    )
+    assert quorum.rpo_lost_keys == 0
+
+
+def test_local_follower_p99_beats_primary_p99(quick_report):
+    for outcome in quick_report.outcomes:
+        assert outcome.local_reads > 0 and outcome.remote_reads > 0
+        assert outcome.local_p99 < outcome.remote_p99, outcome.protocol
+        assert outcome.rpc_local > 0
+
+
+def test_report_formats(quick_report):
+    text = format_multiregion(quick_report)
+    assert "PASS" in text
+    for outcome in quick_report.outcomes:
+        assert outcome.protocol in text
+    assert quick_report.fingerprint[:8] in text
+
+
+def test_replays_bit_identically(quick_report):
+    again = run_multiregion(seed=42, quick=True)
+    assert again.fingerprint == quick_report.fingerprint
+    assert [o.fingerprint for o in again.outcomes] == \
+        [o.fingerprint for o in quick_report.outcomes]
+
+
+def test_seed_changes_the_trace(quick_report):
+    assert run_multiregion(seed=7, quick=True).fingerprint != \
+        quick_report.fingerprint
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError, match="unknown protocol"):
+        run_multiregion(protocols=("quorum", "bogus"))

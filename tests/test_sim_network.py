@@ -103,6 +103,38 @@ def test_unnamed_nodes_form_implicit_partition_group():
     assert nodes["a"].received == []
 
 
+def test_late_registered_nodes_share_the_implicit_leftover_group():
+    # Clients created lazily *during* a partition (sharded sessions
+    # build per-shard clients at first op) land together in the
+    # implicit leftover group: when every pre-existing node was named
+    # into a side, late arrivals can still reach *each other*, and a
+    # self-send still works — nobody is marooned alone.
+    sim, net, nodes = make_net()
+    net.partition(["a"], ["b", "c"])
+    late1 = Sink(sim, net, "late1")
+    Sink(sim, net, "late2")
+    assert net.reachable("late1", "late2")
+    assert net.reachable("late1", "late1")
+    assert not net.reachable("late1", "a")
+    assert not net.reachable("b", "late1")
+    net.send("late2", "late1", "m")
+    net.send("late1", "a", "blocked")
+    sim.run()
+    assert len(late1.received) == 1
+    assert nodes["a"].received == []
+
+
+def test_late_registered_node_joins_the_unnamed_group_when_present():
+    sim, net, nodes = make_net()
+    net.partition(["a"])  # b, c implicit
+    late = Sink(sim, net, "late")
+    net.send("late", "c", "m")
+    sim.run()
+    assert len(nodes["c"].received) == 1
+    assert not net.reachable("late", "a")
+    assert net.reachable("late", "late")
+
+
 def test_heal_restores_connectivity():
     sim, net, nodes = make_net()
     net.partition(["a"], ["b"])

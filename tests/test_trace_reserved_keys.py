@@ -1,0 +1,71 @@
+"""Regression scan: no annotation call site may shadow a reserved key.
+
+``Simulator.annotate(category, **data)`` funnels into
+``Tracer.record(time, kind, **data)`` with ``category`` merged into
+the kwargs — so an annotation passing ``time=``, ``kind=`` or
+``category=`` as a *data* field collides with the record's own fields
+and raises ``TypeError`` at trace time (the PR 7 ``kind=`` bug).  The
+collision only fires when a tracer is installed, which is exactly how
+it slipped past untraced tests.  This scan walks every ``.annotate(``
+call in ``src/`` with the AST and bans the reserved names statically.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: Field names owned by the trace record itself.
+RESERVED = frozenset({"time", "kind", "category"})
+
+
+def annotate_calls():
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"),
+                         filename=str(path))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "annotate"
+            ):
+                yield path, node
+
+
+def test_source_tree_has_annotate_call_sites():
+    # The scan must actually be scanning something.
+    assert sum(1 for _ in annotate_calls()) > 20
+
+
+def test_no_annotate_kwarg_shadows_a_reserved_key():
+    offenders = [
+        f"{path.relative_to(SRC)}:{node.lineno} passes {kw.arg}="
+        for path, node in annotate_calls()
+        for kw in node.keywords
+        if kw.arg in RESERVED
+    ]
+    assert not offenders, (
+        "annotation data fields collide with reserved trace-record "
+        "keys (rename the kwarg): " + "; ".join(offenders)
+    )
+
+
+#: The trace plumbing itself forwards ``**data`` transparently
+#: (``Simulator.annotate`` -> ``Tracer.annotate``); only *originating*
+#: call sites must keep their keys explicit for the scan to be sound.
+PLUMBING = frozenset({"repro/sim/core.py", "repro/sim/trace.py"})
+
+
+def test_no_annotate_call_splats_unchecked_kwargs():
+    # A ``**payload`` splat hides its keys from the static scan; keep
+    # annotation call sites explicit so the scan stays sound.
+    offenders = [
+        f"{path.relative_to(SRC)}:{node.lineno}"
+        for path, node in annotate_calls()
+        if str(path.relative_to(SRC)) not in PLUMBING
+        and any(kw.arg is None for kw in node.keywords)
+    ]
+    assert not offenders, (
+        "annotate(**...) splats defeat the reserved-key scan: "
+        + "; ".join(offenders)
+    )
