@@ -278,6 +278,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         quick=args.quick,
         verify=not args.no_verify,
         repeats=args.repeat,
+        workers=args.workers,
     )
     print(render_report(doc))
 
@@ -303,6 +304,66 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"\nOK vs baseline {args.compare} "
               f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Fan one scenario's seeds across worker processes; optionally
+    prove parallel == serial via the per-seed fingerprint set."""
+    import json
+
+    from .analysis import render_table
+    from .perf import (
+        SweepError,
+        check_parallel_determinism,
+        parse_seeds,
+        run_sweep,
+    )
+
+    try:
+        seeds = parse_seeds(args.seeds)
+        if args.check_determinism and args.workers > 1:
+            serial, report = check_parallel_determinism(
+                args.scenario, seeds, workers=args.workers, quick=args.quick,
+            )
+        else:
+            serial = None
+            report = run_sweep(
+                args.scenario, seeds, workers=args.workers, quick=args.quick,
+            )
+    except SweepError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+
+    rows = [
+        [result.seed, result.events, round(result.events_per_sec, 1),
+         round(result.wall_s, 3), result.trace_hash[:12],
+         result.metrics_digest[:12]]
+        for result in report.results
+    ]
+    scale = "quick" if report.quick else "full"
+    print(render_table(
+        ["seed", "events", "events/s", "wall s", "trace hash",
+         "metrics digest"],
+        rows,
+        title=f"repro sweep — {report.scenario}, {scale} scale, "
+              f"{report.workers} worker(s)",
+    ))
+    print(f"\naggregate: {report.total_events} events in "
+          f"{report.wall_s:.2f}s across {report.workers} worker(s) = "
+          f"{report.aggregate_events_per_sec:,.0f} events/s "
+          f"(serial sum of walls: {report.serial_wall_s:.2f}s)")
+    if serial is not None:
+        speedup = serial.wall_s / max(report.wall_s, 1e-9)
+        print(f"determinism: parallel fingerprint set == serial "
+              f"({len(report.results)} seeds); parallel speedup "
+              f"{speedup:.2f}x over the serial sweep")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
     return 0
 
 
@@ -624,8 +685,43 @@ def main(argv: list[str] | None = None) -> int:
         "--no-verify", action="store_true",
         help="skip the traced verification pass (no trace hashes)",
     )
+    bench_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan scenarios across N worker processes (default 1: "
+             "serial — use serial for baseline regeneration, parallel "
+             "for fast comparative runs)",
+    )
     bench_parser.add_argument("--list", action="store_true",
                               help="list scenarios and exit")
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run one scenario across many seeds on a process pool",
+    )
+    sweep_parser.add_argument(
+        "--scenario", default="quorum_ycsb",
+        help="scenario to sweep (default quorum_ycsb; see bench --list)",
+    )
+    sweep_parser.add_argument(
+        "--seeds", default="1-8", metavar="SPEC",
+        help="seed spec: N, N-M, or comma list e.g. 1,2,5-7 "
+             "(default 1-8)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes (default 1: serial in-process)",
+    )
+    sweep_parser.add_argument(
+        "--quick", action="store_true",
+        help="quick per-seed scale (same meaning as bench --quick)",
+    )
+    sweep_parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="also run serially and fail unless both runs produce the "
+             "identical per-seed (trace_hash, metrics_digest) set",
+    )
+    sweep_parser.add_argument("--output", metavar="PATH",
+                              help="write the sweep report JSON here")
 
     chaos_parser = sub.add_parser(
         "chaos", help="nemesis conformance suite: fault plan + checkers"
@@ -751,6 +847,7 @@ def main(argv: list[str] | None = None) -> int:
         "spectrum": cmd_spectrum,
         "trace": cmd_trace,
         "bench": cmd_bench,
+        "sweep": cmd_sweep,
         "chaos": cmd_chaos,
         "load": cmd_load,
         "scale": cmd_scale,

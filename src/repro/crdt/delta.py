@@ -13,14 +13,26 @@ Both types here expose the classic interface: mutators return the
 delta, ``merge`` accepts either a full peer or a delta (they are the
 same kind of object), and ``split()`` drains the accumulated delta
 group for batched gossip.
+
+Note that :class:`DeltaORSet` is *not* a subclass of the tombstone-free
+:class:`~repro.crdt.sets.ORSet` (ORSWOT): the ORSWOT trick encodes
+removals as "dot covered by the causal context but absent from the
+store", and a context expressed as a per-replica max would make a
+small delta claim knowledge of every earlier dot from its replica —
+merging it would wrongly delete unrelated live elements.  Deltas need
+**explicit per-dot tombstones**, so this class keeps the classic
+tags+tombstones representation (with immutable ``frozenset`` tag sets
+shared on copy).
 """
 
 from __future__ import annotations
 
-from typing import Any, Hashable
+from typing import Any, Hashable, Iterator
 
+from .base import StateCRDT
 from .counters import GCounter
-from .sets import ORSet
+
+_NO_TAGS: frozenset = frozenset()
 
 
 class DeltaGCounter(GCounter):
@@ -72,11 +84,14 @@ class DeltaGCounter(GCounter):
         return clone
 
 
-class DeltaORSet(ORSet):
-    """OR-Set with delta mutators.
+class DeltaORSet(StateCRDT):
+    """OR-Set with delta mutators (explicit tombstones — see module
+    docstring for why this cannot ride on the ORSWOT base class).
 
     Deltas carry only the touched element's tags/tombstones; merging a
-    delta is the normal OR-Set join.
+    delta is the normal OR-Set join.  Tag sets are immutable
+    (``frozenset``), so copies share them and merge skips an element
+    when the incoming set is a subset of ours.
 
     >>> a, b = DeltaORSet("a"), DeltaORSet("b")
     >>> d1 = a.add("x")
@@ -90,33 +105,93 @@ class DeltaORSet(ORSet):
     """
 
     def __init__(self, replica_id: Hashable) -> None:
-        super().__init__(replica_id)
+        self.replica_id = replica_id
+        self._counter = 0
+        self._tags: dict[Any, frozenset] = {}        # element -> live+dead tags
+        self._tombstones: dict[Any, frozenset] = {}  # element -> dead tags
+        self._maxc: dict[Hashable, int] = {}         # replica -> max counter seen
         self._delta: DeltaORSet | None = None
 
+    # -- queries ----------------------------------------------------------
+    def live_tags(self, item: Any) -> frozenset:
+        tags = self._tags.get(item)
+        if tags is None:
+            return _NO_TAGS
+        dead = self._tombstones.get(item)
+        return tags if dead is None else tags - dead
+
+    def __contains__(self, item: Any) -> bool:
+        return bool(self.live_tags(item))
+
+    def __iter__(self) -> Iterator:
+        return iter(self.value)
+
+    def __len__(self) -> int:
+        return sum(1 for item in self._tags if self.live_tags(item))
+
+    @property
+    def value(self) -> frozenset:
+        return frozenset(item for item in self._tags if self.live_tags(item))
+
+    # -- delta plumbing ---------------------------------------------------
     def _delta_sink(self) -> "DeltaORSet":
         if self._delta is None:
             self._delta = DeltaORSet(self.replica_id)
         return self._delta
 
-    def add(self, item: Any) -> "DeltaORSet":  # type: ignore[override]
-        super().add(item)
+    @staticmethod
+    def _accumulate(into: dict, item: Any, tags: frozenset) -> None:
+        """Union ``tags`` into ``into[item]`` (immutable-set discipline:
+        replace, never mutate)."""
+        cur = into.get(item)
+        into[item] = tags if cur is None else cur | tags
+
+    def _cover(self, tags: frozenset) -> None:
+        """Extend ``_maxc`` over ``tags`` so a receiver merging this
+        delta advances its counter exactly as a full-state merge would."""
+        maxc = self._maxc
+        for replica, count in tags:
+            if count > maxc.get(replica, 0):
+                maxc[replica] = count
+
+    def _cover_from(self, other_maxc: dict) -> None:
+        maxc = self._maxc
+        for replica, count in other_maxc.items():
+            if count > maxc.get(replica, 0):
+                maxc[replica] = count
+
+    # -- mutators ---------------------------------------------------------
+    def add(self, item: Any) -> "DeltaORSet":
+        self._counter += 1
+        self._maxc[self.replica_id] = self._counter
         tag = (self.replica_id, self._counter)
+        single = frozenset((tag,))
+        cur = self._tags.get(item)
+        self._tags[item] = single if cur is None else cur | single
         delta = DeltaORSet(self.replica_id)
-        delta._tags = {item: {tag}}
+        delta._tags = {item: single}
+        delta._maxc = {self.replica_id: self._counter}
         sink = self._delta_sink()
-        sink._tags.setdefault(item, set()).add(tag)
+        self._accumulate(sink._tags, item, single)
+        sink._cover(single)
         return delta
 
-    def remove(self, item: Any) -> "DeltaORSet":  # type: ignore[override]
-        observed = set(self.live_tags(item))
-        super().remove(item)
+    def remove(self, item: Any) -> "DeltaORSet":
+        """Tombstone every tag of ``item`` observed at this replica."""
+        observed = self.live_tags(item)
         delta = DeltaORSet(self.replica_id)
         if observed:
-            delta._tags = {item: set(observed)}
-            delta._tombstones = {item: set(observed)}
+            dead = self._tombstones.get(item)
+            self._tombstones[item] = (
+                observed if dead is None else dead | observed
+            )
+            delta._tags = {item: observed}
+            delta._tombstones = {item: observed}
+            delta._cover(observed)
             sink = self._delta_sink()
-            sink._tags.setdefault(item, set()).update(observed)
-            sink._tombstones.setdefault(item, set()).update(observed)
+            self._accumulate(sink._tags, item, observed)
+            self._accumulate(sink._tombstones, item, observed)
+            sink._cover(observed)
         return delta
 
     def split(self) -> "DeltaORSet | None":
@@ -124,29 +199,60 @@ class DeltaORSet(ORSet):
         delta, self._delta = self._delta, None
         return delta
 
-    def merge(self, other: ORSet) -> "DeltaORSet":  # type: ignore[override]
-        if not isinstance(other, ORSet):
+    # -- join -------------------------------------------------------------
+    def merge(self, other: "DeltaORSet") -> "DeltaORSet":
+        if not isinstance(other, DeltaORSet):
             raise TypeError(f"cannot merge {type(other).__name__}")
         sink = self._delta_sink()
+        mine = self._tags
         for item, tags in other._tags.items():
-            new = tags - self._tags.get(item, set())
-            if new:
-                sink._tags.setdefault(item, set()).update(new)
-            self._tags.setdefault(item, set()).update(tags)
-            for replica, count in tags:
-                if replica == self.replica_id and count > self._counter:
-                    self._counter = count
+            cur = mine.get(item)
+            if cur is None:
+                mine[item] = tags
+                self._accumulate(sink._tags, item, tags)
+            elif cur is not tags and not tags <= cur:
+                mine[item] = cur | tags
+                self._accumulate(sink._tags, item, tags - cur)
+        dead_mine = self._tombstones
         for item, dead in other._tombstones.items():
-            new = dead - self._tombstones.get(item, set())
+            cur = dead_mine.get(item)
+            if cur is None:
+                new = dead
+            elif cur is not dead and not dead <= cur:
+                new = dead - cur
+            else:
+                new = None
             if new:
-                sink._tombstones.setdefault(item, set()).update(new)
-                sink._tags.setdefault(item, set()).update(new)
-            self._tombstones.setdefault(item, set()).update(dead)
+                dead_mine[item] = dead if cur is None else cur | dead
+                self._accumulate(sink._tombstones, item, new)
+                self._accumulate(sink._tags, item, new)
+        maxc = self._maxc
+        for replica, count in other._maxc.items():
+            if count > maxc.get(replica, 0):
+                maxc[replica] = count
+        sink._cover_from(other._maxc)
+        # Keep our tag counter ahead of every tag we have seen from
+        # ourselves, so tags stay unique even after state restore.
+        seen = maxc.get(self.replica_id, 0)
+        if seen > self._counter:
+            self._counter = seen
         if not sink._tags and not sink._tombstones:
             self._delta = None
         return self
 
-    def copy(self) -> "DeltaORSet":  # type: ignore[override]
-        clone = super().copy()
+    def copy(self) -> "DeltaORSet":
+        clone = self._blank_copy()
+        clone._counter = self._counter
+        clone._tags = dict(self._tags)
+        clone._tombstones = dict(self._tombstones)
+        clone._maxc = dict(self._maxc)
         clone._delta = self._delta.copy() if self._delta is not None else None
         return clone
+
+    def state(self) -> dict:
+        return {
+            "tags": {repr(k): sorted(v) for k, v in self._tags.items()},
+            "tombstones": {
+                repr(k): sorted(v) for k, v in self._tombstones.items()
+            },
+        }

@@ -105,12 +105,28 @@ class TwoPSet(StateCRDT):
         }
 
 
-class ORSet(StateCRDT):
-    """Observed-remove set (add-wins).
+#: Shared empty tag set — ``live_tags`` on an absent element allocates
+#: nothing.
+_NO_TAGS: frozenset = frozenset()
 
-    Every add creates a unique tag; remove tombstones exactly the tags
-    it has *observed*.  A concurrent add's tag is not observed by the
-    remove, so the element survives — "add wins".
+
+class ORSet(StateCRDT):
+    """Observed-remove set (add-wins), tombstone-free — an ORSWOT
+    ("observed-remove set without tombstones", the Riak design).
+
+    Every add mints a unique **dot** ``(replica, counter)``; the state
+    keeps only the *live* dots per element plus a **causal context**
+    (``_maxc``): the highest counter seen from each replica.  Because a
+    replica mints its dots sequentially and states travel whole, any
+    state's knowledge of replica *r* is always the prefix ``1..maxc[r]``
+    — so "dot covered by the context but absent from the live store"
+    *is* the tombstone, and removed elements cost nothing forever after.
+    Merge keeps a dot iff both sides hold it live, or one side holds it
+    and the other has never seen it (add-wins for concurrent adds).
+
+    Dot sets are immutable (``frozenset``): :meth:`copy` — the gossip
+    wire snapshot — is a shallow dict copy sharing them, and merge
+    skips an element in O(1) when both sides hold the same object.
 
     >>> a, b = ORSet("a"), ORSet("b")
     >>> a.add("x")
@@ -125,66 +141,112 @@ class ORSet(StateCRDT):
     def __init__(self, replica_id: Hashable) -> None:
         self.replica_id = replica_id
         self._counter = 0
-        self._tags: dict[Any, set[tuple]] = {}      # element -> live+dead tags
-        self._tombstones: dict[Any, set[tuple]] = {}  # element -> dead tags
+        self._dots: dict[Any, frozenset] = {}   # element -> live dots only
+        self._maxc: dict[Hashable, int] = {}    # causal context: replica -> max counter
 
     def _fresh_tag(self) -> tuple:
         self._counter += 1
+        self._maxc[self.replica_id] = self._counter
         return (self.replica_id, self._counter)
 
     def add(self, item: Any) -> None:
-        self._tags.setdefault(item, set()).add(self._fresh_tag())
+        dots = self._dots.get(item)
+        dot = self._fresh_tag()
+        self._dots[item] = frozenset((dot,)) if dots is None else dots | {dot}
 
     def remove(self, item: Any) -> None:
-        """Tombstone every tag of ``item`` observed at this replica."""
-        live = self.live_tags(item)
-        if live:
-            self._tombstones.setdefault(item, set()).update(live)
+        """Drop every dot of ``item`` observed at this replica.  The
+        causal context still covers them, which is what tells peers the
+        removal happened."""
+        self._dots.pop(item, None)
 
-    def live_tags(self, item: Any) -> set[tuple]:
-        return self._tags.get(item, set()) - self._tombstones.get(item, set())
+    def live_tags(self, item: Any) -> frozenset:
+        return self._dots.get(item, _NO_TAGS)
 
     def __contains__(self, item: Any) -> bool:
-        return bool(self.live_tags(item))
+        return item in self._dots
 
     def __iter__(self) -> Iterator:
-        return iter(self.value)
+        return iter(self._dots)
 
     def __len__(self) -> int:
-        return sum(1 for item in self._tags if self.live_tags(item))
+        return len(self._dots)
 
     @property
     def value(self) -> frozenset:
-        return frozenset(item for item in self._tags if self.live_tags(item))
+        return frozenset(self._dots)
 
     def merge(self, other: "ORSet") -> "ORSet":
         self._require_same_type(other)
-        for item, tags in other._tags.items():
-            self._tags.setdefault(item, set()).update(tags)
-        for item, dead in other._tombstones.items():
-            self._tombstones.setdefault(item, set()).update(dead)
-        # Keep our tag counter ahead of every tag we have seen from
-        # ourselves, so tags stay unique even after state restore.
-        for tags in other._tags.values():
-            for replica, count in tags:
-                if replica == self.replica_id and count > self._counter:
-                    self._counter = count
+        mine, theirs = self._dots, other._dots
+        ctx, octx = self._maxc, other._maxc
+        for item, odots in theirs.items():
+            cur = mine.get(item)
+            if cur is None:
+                # New element: adopt the dots the other side holds live,
+                # minus any we have already seen (and thus removed).
+                keep = [d for d in odots if d[1] > ctx.get(d[0], 0)]
+                if len(keep) == len(odots):
+                    mine[item] = odots
+                elif keep:
+                    mine[item] = frozenset(keep)
+            elif cur is not odots and cur != odots:
+                # One pass per side, no intermediate differences: keep a
+                # dot iff both hold it live, or its only holder is the
+                # side the other has not caught up with yet.
+                merged = {
+                    d for d in cur
+                    if d in odots or d[1] > octx.get(d[0], 0)
+                }
+                merged.update(
+                    d for d in odots
+                    if d not in cur and d[1] > ctx.get(d[0], 0)
+                )
+                if merged == cur:
+                    pass
+                elif merged == odots:
+                    # Adopt their object so the next exchange between
+                    # these replicas short-circuits on identity.
+                    mine[item] = odots
+                elif merged:
+                    mine[item] = frozenset(merged)
+                else:
+                    del mine[item]
+        # Elements only we hold: drop dots the other side has seen and
+        # removed (covered by their context, absent from their store).
+        for item in [i for i in mine if i not in theirs]:
+            cur = mine[item]
+            keep = [d for d in cur if d[1] > octx.get(d[0], 0)]
+            if len(keep) != len(cur):
+                if keep:
+                    mine[item] = frozenset(keep)
+                else:
+                    del mine[item]
+        for replica, count in octx.items():
+            if count > ctx.get(replica, 0):
+                ctx[replica] = count
+        # Keep our dot counter ahead of every dot seen from ourselves,
+        # so dots stay unique even after state restore.
+        seen = ctx.get(self.replica_id, 0)
+        if seen > self._counter:
+            self._counter = seen
         return self
 
     def copy(self) -> "ORSet":
         clone = self._blank_copy()
         clone._counter = self._counter
-        clone._tags = {item: set(tags) for item, tags in self._tags.items()}
-        clone._tombstones = {
-            item: set(dead) for item, dead in self._tombstones.items()
-        }
+        # Immutable dot sets: sharing them is safe, so the snapshot a
+        # gossip round ships is O(live elements), not O(history).
+        clone._dots = dict(self._dots)
+        clone._maxc = dict(self._maxc)
         return clone
 
     def state(self) -> dict:
         return {
-            "tags": {repr(k): sorted(v) for k, v in self._tags.items()},
-            "tombstones": {
-                repr(k): sorted(v) for k, v in self._tombstones.items()
+            "dots": {repr(k): sorted(v) for k, v in self._dots.items()},
+            "context": {
+                repr(r): c
+                for r, c in sorted(self._maxc.items(), key=lambda kv: repr(kv[0]))
             },
         }
 

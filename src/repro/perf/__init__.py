@@ -13,25 +13,44 @@ optimization.
 Entry points::
 
     python -m repro bench --quick              # CI smoke scale
+    python -m repro bench --quick --workers 4  # scenarios across cores
     python -m repro bench --output BENCH_CORE.json
     python -m repro bench --quick --compare BENCH_CORE.json
+    python -m repro sweep --scenario quorum_ycsb --seeds 1-8 --workers 4
+
+``repro sweep`` (:mod:`repro.perf.parallel`) fans one scenario's seeds
+across a multiprocess pool and can prove the fan-out changed nothing:
+the parallel run must produce the identical set of per-seed
+``(trace_hash, metrics_digest)`` fingerprints as a serial run.
 """
 
 from .harness import (
     DEFAULT_SEED,
+    RSS_TOLERANCE,
     SCHEMA,
     HashingTracer,
     PerfHarnessError,
     ScenarioReport,
     compare,
+    metrics_digest,
     render_report,
     run_scenario,
     run_suite,
 )
-from .scenarios import SCENARIOS, Scenario, ScenarioOutcome
+from .parallel import (
+    SeedResult,
+    SweepError,
+    SweepReport,
+    check_parallel_determinism,
+    parse_seeds,
+    run_sweep,
+)
+from .scenarios import DEFAULT_SCENARIOS, SCENARIOS, Scenario, ScenarioOutcome
 
 __all__ = [
+    "DEFAULT_SCENARIOS",
     "DEFAULT_SEED",
+    "RSS_TOLERANCE",
     "SCHEMA",
     "SCENARIOS",
     "HashingTracer",
@@ -39,8 +58,15 @@ __all__ = [
     "Scenario",
     "ScenarioOutcome",
     "ScenarioReport",
+    "SeedResult",
+    "SweepError",
+    "SweepReport",
+    "check_parallel_determinism",
     "compare",
+    "metrics_digest",
+    "parse_seeds",
     "render_report",
     "run_scenario",
     "run_suite",
+    "run_sweep",
 ]

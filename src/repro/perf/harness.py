@@ -27,13 +27,18 @@ from typing import Any, Iterable
 
 from ..errors import ReproError
 from ..sim.trace import ANNOTATION, TraceEvent
-from .scenarios import SCENARIOS, ScenarioOutcome
+from .scenarios import DEFAULT_SCENARIOS, SCENARIOS, ScenarioOutcome
 
 SCHEMA = "repro.perf.bench_core/1"
 DEFAULT_SEED = 42
 #: CI guard: fail when a scenario's events/sec drops by more than this
 #: fraction against the committed baseline.
 DEFAULT_TOLERANCE = 0.30
+#: CI guard: fail when a scenario's peak RSS grows by more than this
+#: fraction against the committed baseline.  Wider than the throughput
+#: tolerance would be too forgiving: RSS is a high-water mark and far
+#: less noisy than wall clock.
+RSS_TOLERANCE = 0.20
 
 try:  # pragma: no cover - resource is POSIX-only
     import resource
@@ -197,18 +202,45 @@ def run_scenario(
     )
 
 
+def _run_scenario_task(task: tuple) -> tuple[str, dict]:
+    """Pool worker for :func:`run_suite` — module-level so it pickles
+    under the ``spawn`` start method."""
+    name, seed, quick, verify, repeats = task
+    report = run_scenario(
+        name, seed=seed, quick=quick, verify=verify, repeats=repeats
+    )
+    return name, report.to_json()
+
+
 def run_suite(
     scenarios: Iterable[str] | None = None,
     seed: int = DEFAULT_SEED,
     quick: bool = False,
     verify: bool = True,
     repeats: int = 1,
+    workers: int = 1,
 ) -> dict:
-    """Run the (selected) scenarios and build the BENCH_CORE document."""
-    names = list(scenarios) if scenarios else list(SCENARIOS)
+    """Run the (selected) scenarios and build the BENCH_CORE document.
+
+    ``scenarios=None`` runs :data:`~repro.perf.scenarios.\
+DEFAULT_SCENARIOS` — the gated set BENCH_CORE.json pins — not every
+    registered scenario; heavyweight opt-in scenarios must be named.
+
+    ``workers > 1`` fans the scenarios across a process pool (one
+    scenario per worker, results assembled in request order).  Timings
+    from a loaded machine are noisier than serial best-of-N, so keep
+    the serial path for baseline regeneration; parallel mode is for
+    fast comparative sweeps.  Per-scenario ``peak_rss_kb`` is *more*
+    accurate in parallel mode: each worker's high-water mark covers
+    only its own scenario, while a serial run reports the process-wide
+    monotone maximum.
+    """
+    names = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
     unknown = [name for name in names if name not in SCENARIOS]
     if unknown:
         raise KeyError(f"unknown scenario(s): {', '.join(unknown)}")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     doc: dict = {
         "schema": SCHEMA,
         "seed": seed,
@@ -217,11 +249,20 @@ def run_suite(
         "platform": sys.platform,
         "scenarios": {},
     }
-    for name in names:
-        report = run_scenario(
-            name, seed=seed, quick=quick, verify=verify, repeats=repeats
+    tasks = [(name, seed, quick, verify, repeats) for name in names]
+    if workers == 1:
+        results = [_run_scenario_task(task) for task in tasks]
+    else:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
         )
-        doc["scenarios"][name] = report.to_json()
+        with context.Pool(processes=min(workers, len(tasks))) as pool:
+            results = pool.map(_run_scenario_task, tasks)
+    for name, entry in results:
+        doc["scenarios"][name] = entry
     return doc
 
 
@@ -251,8 +292,9 @@ def compare(
     """Problems in ``current`` relative to ``baseline`` (empty = pass).
 
     Flags (a) any scenario whose events/sec regressed more than
-    ``tolerance``, (b) scenarios missing from the current run, and (c)
-    behavior-fingerprint mismatches when the two documents were
+    ``tolerance``, (b) any scenario whose peak RSS grew more than
+    :data:`RSS_TOLERANCE`, (c) scenarios missing from the current run,
+    and (d) behavior-fingerprint mismatches when the two documents were
     produced at the same seed/scale on the same Python minor.
     """
     problems: list[str] = []
@@ -268,6 +310,14 @@ def compare(
             problems.append(
                 f"{name}: events/sec regressed {mine_rate:.0f} vs "
                 f"{base_rate:.0f} baseline (> {tolerance:.0%} drop)"
+            )
+        base_rss = base.get("peak_rss_kb")
+        mine_rss = mine.get("peak_rss_kb")
+        if base_rss and mine_rss \
+                and mine_rss > base_rss * (1.0 + RSS_TOLERANCE):
+            problems.append(
+                f"{name}: peak RSS grew {mine_rss} KiB vs {base_rss} KiB "
+                f"baseline (> {RSS_TOLERANCE:.0%} growth)"
             )
         if fingerprints_comparable:
             for field in ("trace_hash", "metrics_digest"):

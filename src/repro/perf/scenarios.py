@@ -82,6 +82,25 @@ def _run_quorum_ycsb(seed: int, quick: bool, tracer: Any = None) -> ScenarioOutc
     return ScenarioOutcome(sim, result.ops_ok)
 
 
+def _run_quorum_ycsb_100x(seed: int, quick: bool, tracer: Any = None) -> ScenarioOutcome:
+    """100x the quick ``quorum_ycsb`` op count, same store shape.
+
+    ``quick`` is ignored on purpose: this is fixed heavyweight fodder
+    for the multiprocess sweep runner (``repro sweep``), where the
+    interesting number is aggregate events/sec across workers, not a
+    tunable per-run size.  Not part of ``DEFAULT_SCENARIOS`` — too big
+    for the serial bench gate.
+    """
+    ops, clients = 40_000, 24
+    sim = Simulator(seed=seed, tracer=tracer)
+    net = Network(sim, latency=ExponentialLatency(base=0.3, mean=1.0))
+    store = registry.build("quorum", sim, net, nodes=5, r=2, w=2)
+    workload = YCSBWorkload("A", records=500, seed=seed + 1)
+    result = run_workload(store, workload.take(ops), clients=clients,
+                          timeout=600_000.0)
+    return ScenarioOutcome(sim, result.ops_ok)
+
+
 def _run_sharded_ring(seed: int, quick: bool, tracer: Any = None) -> ScenarioOutcome:
     ops, clients = (400, 16) if quick else (3000, 32)
     sim = Simulator(seed=seed, tracer=tracer)
@@ -230,5 +249,22 @@ SCENARIOS: dict[str, Scenario] = {
             "open-loop Poisson flood past capacity, admission control on",
             _run_openloop_overload,
         ),
+        Scenario(
+            "quorum_ycsb_100x",
+            "quorum_ycsb at 100x the quick op count — sweep-runner fodder",
+            _run_quorum_ycsb_100x,
+        ),
     )
 }
+
+#: The scenarios ``repro bench`` runs by default and BENCH_CORE.json
+#: pins.  Heavyweight opt-in scenarios (``quorum_ycsb_100x``) stay out
+#: of the serial gate and are reached by name or via ``repro sweep``.
+DEFAULT_SCENARIOS: tuple[str, ...] = (
+    "quorum_ycsb",
+    "sharded_ring",
+    "multipaxos",
+    "crdt_merge_storm",
+    "quorum_chaos",
+    "openloop_overload",
+)

@@ -38,7 +38,7 @@ from ..sim import Future, Network, Node, Simulator
 from ..sim.trace import MSG_DROP
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     request_id: int
     payload: Any
@@ -48,7 +48,7 @@ class Request:
     idempotency_key: Hashable | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Reply:
     request_id: int
     payload: Any = None
@@ -226,7 +226,7 @@ class ClientNode(Node):
         ).future
 
 
-@dataclass
+@dataclass(slots=True)
 class _DedupEntry:
     """Server-side record of one idempotent request.
 

@@ -28,18 +28,18 @@ from .paxos import NO_BALLOT, Ballot
 # -- commands -----------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PutCmd:
     key: Hashable
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetCmd:
     key: Hashable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Noop:
     pass
 
@@ -47,12 +47,12 @@ class Noop:
 # -- client payloads ------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class SubmitCmd:
     command: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class LocalRead:
     key: Hashable
 
@@ -60,50 +60,50 @@ class LocalRead:
 # -- replica-to-replica messages ---------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class MPPrepare:
     ballot: Ballot
 
 
-@dataclass
+@dataclass(slots=True)
 class MPPromise:
     ballot: Ballot
     accepted: dict  # slot -> (ballot, command)
 
 
-@dataclass
+@dataclass(slots=True)
 class MPAccept:
     ballot: Ballot
     slot: int
     command: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class MPAccepted:
     ballot: Ballot
     slot: int
 
 
-@dataclass
+@dataclass(slots=True)
 class MPNack:
     ballot: Ballot
     promised: Ballot
 
 
-@dataclass
+@dataclass(slots=True)
 class MPCommit:
     slot: int
     command: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class CatchupRequest:
     """Learner with a log gap asks a peer for committed slots."""
 
     from_slot: int
 
 
-@dataclass
+@dataclass(slots=True)
 class CatchupReply:
     committed: dict  # slot -> command
 

@@ -35,7 +35,7 @@ from .ring import HashRing
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class QPut:
     """Client → coordinator write.
 
@@ -51,14 +51,14 @@ class QPut:
     context: LamportStamp | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class QGet:
     """Client → coordinator read."""
 
     key: Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreMsg:
     """Coordinator → replica: store a stamped version."""
 
@@ -69,18 +69,18 @@ class StoreMsg:
     hint_for: Hashable | None = None   # sloppy-quorum hint
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreAck:
     op_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchMsg:
     op_id: int
     key: Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchReply:
     op_id: int
     key: Hashable
@@ -300,7 +300,7 @@ def _freshest(replies: list) -> tuple[Any, LamportStamp | None]:
     return best_value, best_stamp
 
 
-@dataclass
+@dataclass(slots=True)
 class _CoordinatorOp:
     kind: str
     key: Hashable
@@ -319,7 +319,7 @@ class _CoordinatorOp:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class _RawOp:
     """History record before stamps are densified into versions."""
 

@@ -51,6 +51,12 @@ class RpcCall:
     ``future``).
     """
 
+    __slots__ = (
+        "client", "sim", "endpoints", "payload", "policy",
+        "idempotency_key", "deadline_at", "future", "attempts", "hedges",
+        "_pending", "_cursor", "_retry_timer", "_hedge_timer", "_metrics",
+    )
+
     def __init__(
         self,
         client,

@@ -24,7 +24,7 @@ from ..errors import UnavailableError
 DEFAULT_RETRYABLE: tuple[type, ...] = (ReproTimeoutError, UnavailableError)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetryPolicy:
     """How one logical RPC may be re-issued.
 

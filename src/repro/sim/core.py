@@ -71,6 +71,8 @@ class Simulator:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._queue = EventQueue()
         self._push = self._queue.push  # bound once: scheduling is hot
+        self._push_fn = self._queue.push_fn  # handle-free fast path
+        self._push_pooled = self._queue.push_pooled  # call_soon backend
         self._running = False
         self._stopped = False
         self.events_processed = 0
@@ -118,9 +120,14 @@ class Simulator:
 
         This is the fast path the future/process machinery leans on:
         no delay validation, no clock arithmetic — straight onto the
-        queue at ``now``.
+        queue at ``now``.  The returned handle is **pool-backed**: it
+        may be cancelled before it fires, but must not be retained
+        past dispatch (the dispatch loop recycles it — see
+        :func:`repro.sim.events.set_pool_debug`).  Callers needing a
+        long-lived handle at the current instant should use
+        ``schedule(0.0, ...)``.
         """
-        return self._push(self.now, fn, args)
+        return self._push_pooled(self.now, fn, args)
 
     # ------------------------------------------------------------------
     # Execution
@@ -153,47 +160,83 @@ class Simulator:
         # across callbacks).  The tracer's ``enabled`` flag is a class
         # attribute, so it cannot change mid-run; ``_fn_name`` is only
         # computed when it is on.
+        #
+        # Dispatch is *batched*: the outer loop picks the next
+        # timestamp, the inner loop drains every entry at that instant
+        # (including ones pushed mid-batch by the callbacks — call_soon
+        # cascades) without re-evaluating the outer-loop conditions.
+        # Each entry stays in the heap until its own turn, so a
+        # callback cancelling a later same-tick event still skips it —
+        # the exact sequential-pop semantics, minus the per-event
+        # bookkeeping.  Handle-free ``(time, seq, fn, args)`` entries
+        # take the no-attribute-loads branch.
         queue = self._queue
         heap = queue._heap
         pop_entry = heapq.heappop
+        recycle = queue.recycle
         trace = self.trace
         tracing = trace.enabled
         trace_record = trace.record
         no_deadline = until is None
+        done = False
         try:
-            while queue._live:
+            while queue._live and not done:
                 if no_deadline and queue._foreground == 0:
                     break  # only daemon timers remain: the run is done
-                while heap and heap[0][2].cancelled:
-                    pop_entry(heap)
-                    queue._dead -= 1
                 if not heap:
                     break
-                if not no_deadline and heap[0][0] > until:
+                tick = heap[0][0]
+                if not no_deadline and tick > until:
                     break
-                event = pop_entry(heap)[2]
-                # Same accounting as EventQueue.pop(): mark executed
-                # *before* dispatch so a self-cancel is a no-op.
-                event.executed = True
-                queue._live -= 1
-                if not event.daemon:
-                    queue._foreground -= 1
-                if event.time < self.now:  # pragma: no cover - defensive
+                if tick < self.now:  # pragma: no cover - defensive
                     raise SimulationError("event queue yielded an event in the past")
-                self.now = event.time
-                if tracing:
-                    trace_record(
-                        event.time, "event_executed",
-                        fn=_fn_name(event.fn), seq=event.seq,
-                        daemon=event.daemon,
-                    )
-                event.fn(*event.args)
-                processed += 1
-                self.events_processed += 1
-                if self._stopped:
-                    break
-                if processed >= limit:
-                    break
+                self.now = tick
+                while True:
+                    entry = pop_entry(heap)
+                    if len(entry) == 4:
+                        fn = entry[2]
+                        queue._live -= 1
+                        queue._foreground -= 1
+                        if tracing:
+                            trace_record(
+                                tick, "event_executed",
+                                fn=_fn_name(fn), seq=entry[1], daemon=False,
+                            )
+                        fn(*entry[3])
+                        processed += 1
+                        self.events_processed += 1
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            queue._dead -= 1
+                            if heap and heap[0][0] == tick:
+                                continue
+                            break
+                        # Same accounting as EventQueue.pop(): mark
+                        # executed *before* dispatch so a self-cancel
+                        # is a no-op.
+                        event.executed = True
+                        queue._live -= 1
+                        if not event.daemon:
+                            queue._foreground -= 1
+                        if tracing:
+                            trace_record(
+                                tick, "event_executed",
+                                fn=_fn_name(event.fn), seq=event.seq,
+                                daemon=event.daemon,
+                            )
+                        event.fn(*event.args)
+                        if event.pooled:
+                            recycle(event)
+                        processed += 1
+                        self.events_processed += 1
+                    if self._stopped or processed >= limit:
+                        done = True
+                        break
+                    if no_deadline and queue._foreground == 0:
+                        break
+                    if not heap or heap[0][0] != tick:
+                        break
             if until is not None and not self._stopped and self.now < until:
                 # Fast-forward to the deadline only if nothing is still
                 # due before it — a max_events break leaves live events
@@ -244,6 +287,8 @@ class Simulator:
             event.fn(*event.args)
         finally:
             self._running = False
+        if event.pooled:
+            self._queue.recycle(event)
         self.events_processed += 1
         return True
 

@@ -1,18 +1,41 @@
 """Event queue primitives for the discrete-event simulator.
 
-The queue is a binary heap of ``(time, seq, event)`` tuples ordered by
-``(time, sequence)``.  The monotonically increasing sequence number
-makes the ordering of simultaneous events deterministic (FIFO in
-scheduling order), which is what makes whole simulations reproducible
-from a seed.  Storing plain tuples — not :class:`Event` objects — keeps
-every ``heapq`` comparison in C; the interpreter never re-enters
-``Event.__lt__`` on the hot path.
+The queue is a binary heap ordered by ``(time, sequence)``.  The
+monotonically increasing sequence number makes the ordering of
+simultaneous events deterministic (FIFO in scheduling order), which is
+what makes whole simulations reproducible from a seed.  Storing plain
+tuples — not :class:`Event` objects — keeps every ``heapq`` comparison
+in C; the interpreter never re-enters ``Event.__lt__`` on the hot path.
+
+Two entry shapes share the heap:
+
+``(time, seq, Event)``
+    The classic cancellable entry, returned as a handle by
+    :meth:`push`.
+``(time, seq, fn, args)``
+    A *handle-free* entry from :meth:`push_fn` — no :class:`Event` is
+    ever allocated.  Used for fire-and-forget work (network
+    deliveries) that is never cancelled and never daemonized.  Mixing
+    the two shapes is safe because sequence numbers are unique: tuple
+    comparison always resolves at element 1 and never reaches the
+    payload.
 
 Cancellation is lazy: a cancelled event is flagged in O(1) and skipped
 when it surfaces from the heap.  When cancelled entries outnumber live
 ones (a hedged-RPC storm cancelling its loser timers, say), the heap is
 compacted in one pass so dead timers cannot dominate heap depth for the
 rest of a long run.
+
+Event pooling
+-------------
+:meth:`push_pooled` (the ``Simulator.call_soon`` backend) draws
+:class:`PooledEvent` objects from a free list; the dispatch loop
+returns them via :meth:`recycle` right after their callback runs.
+Pool lifetime rule: **a pooled handle must not be retained past its
+dispatch** — cancelling before it fires is fine, touching it after is
+use-after-free.  :func:`set_pool_debug` arms a debug mode in which the
+pool stops reusing objects and any post-recycle ``cancel()`` raises
+instead of silently corrupting an unrelated event.
 """
 
 from __future__ import annotations
@@ -21,6 +44,23 @@ import heapq
 from typing import Any, Callable
 
 from ..errors import SimulationError
+
+#: Max free-listed events; beyond this, retired events go to the GC.
+_POOL_CAP = 256
+
+_POOL_DEBUG = False
+
+
+def set_pool_debug(enabled: bool) -> None:
+    """Toggle use-after-free detection for pooled events.
+
+    When enabled, recycled events are *not* reused (so their ``_freed``
+    flag stays set forever) and ``cancel()`` on a recycled event raises
+    :class:`SimulationError` instead of no-opping.  Costs allocation
+    throughput; meant for tests and debugging, not production runs.
+    """
+    global _POOL_DEBUG
+    _POOL_DEBUG = enabled
 
 
 class Event:
@@ -34,6 +74,11 @@ class Event:
         "time", "seq", "fn", "args", "cancelled", "daemon", "executed",
         "_queue",
     )
+
+    #: Class-level defaults — plain events are never pool-managed, so
+    #: they pay no per-instance storage for the pool bookkeeping.
+    pooled = False
+    _freed = False
 
     def __init__(
         self,
@@ -59,6 +104,13 @@ class Event:
         marks ``executed`` at pop, before the callback runs) is a
         harmless no-op, so queue accounting can never double-decrement.
         """
+        if self._freed:
+            if _POOL_DEBUG:
+                raise SimulationError(
+                    "cancel() on a recycled pooled event (use-after-free): "
+                    "call_soon handles must not be retained past dispatch"
+                )
+            return
         if not self.cancelled and not self.executed:
             self.cancelled = True
             queue = self._queue
@@ -77,19 +129,37 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
+        if self._freed:
+            state = "recycled"
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<Event t={self.time:.6f} #{self.seq} {name} {state}>"
 
 
+class PooledEvent(Event):
+    """An :class:`Event` owned by the queue's free list.
+
+    Identical semantics while live; after dispatch the queue reclaims
+    it (``_freed`` set, payload dropped) and may hand the same object
+    to a later :meth:`EventQueue.push_pooled`.  Callers therefore must
+    not keep references past dispatch — see :func:`set_pool_debug`.
+    """
+
+    __slots__ = ("_freed",)
+
+    pooled = True
+
+
 class EventQueue:
-    """Deterministic min-heap of ``(time, seq, Event)`` entries."""
+    """Deterministic min-heap of ``(time, seq, ...)`` entries."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+        # Entries are (time, seq, Event) or (time, seq, fn, args).
+        self._heap: list[tuple] = []
         self._seq = 0
         self._live = 0
         self._foreground = 0
         self._dead = 0  # cancelled entries still parked in the heap
+        self._pool: list[PooledEvent] = []
 
     def __len__(self) -> int:
         return self._live
@@ -126,19 +196,92 @@ class EventQueue:
             self._foreground += 1
         return event
 
+    def push_fn(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+    ) -> None:
+        """Schedule ``fn(*args)`` with no :class:`Event` handle.
+
+        The entry cannot be cancelled and always counts as foreground —
+        exactly the contract of a network delivery, the hottest push in
+        the simulator.  Zero per-call allocation beyond the heap tuple.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, fn, args))
+        self._live += 1
+        self._foreground += 1
+
+    def push_pooled(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+    ) -> Event:
+        """Like :meth:`push` (foreground, non-daemon) but the handle is
+        drawn from the free list and reclaimed right after dispatch.
+        Callers may cancel it before it fires; retaining it past
+        dispatch is use-after-free (see :func:`set_pool_debug`).
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event.executed = False
+            event._freed = False
+        else:
+            event = PooledEvent(time, seq, fn, args, self, False)
+            event._freed = False
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
+        self._foreground += 1
+        return event
+
+    def recycle(self, event: PooledEvent) -> None:
+        """Return a dispatched pooled event to the free list.
+
+        Called by the dispatch loops immediately after the callback
+        ran (only ever with ``event.pooled`` true).  In debug mode the
+        object is retired instead of reused so stale handles keep
+        raising (see :func:`set_pool_debug`).
+        """
+        event._freed = True
+        event.fn = None  # type: ignore[assignment]
+        event.args = ()
+        if not _POOL_DEBUG and len(self._pool) < _POOL_CAP:
+            self._pool.append(event)
+
     def pop(self) -> Event:
         """Pop the earliest non-cancelled event.
 
         The popped event is marked ``executed`` *before* it is returned
         (so before its callback can run): a callback cancelling the
         very event being dispatched must see a no-op, not a second
-        live-count decrement.
+        live-count decrement.  Handle-free entries are wrapped in a
+        fresh (already-executed) :class:`Event` so callers see one
+        uniform shape.
 
         Raises :class:`SimulationError` if the queue is empty.
         """
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)[2]
+            entry = heapq.heappop(heap)
+            if len(entry) == 4:
+                time, seq, fn, args = entry
+                self._live -= 1
+                self._foreground -= 1
+                event = Event(time, seq, fn, args, self, False)
+                event.executed = True
+                return event
+            event = entry[2]
             if event.cancelled:
                 self._dead -= 1
                 continue
@@ -149,10 +292,53 @@ class EventQueue:
             return event
         raise SimulationError("pop from empty event queue")
 
+    def pop_batch(self) -> list[Event]:
+        """Drain every live event sharing the earliest timestamp.
+
+        Events come back in exact sequential :meth:`pop` order (seq
+        tie-break preserved); lazy-cancelled entries are skipped with
+        the same accounting.  Every returned event is marked
+        ``executed`` at collection, so — unlike ``Simulator.run``'s
+        lazy inner drain, which leaves each event in the heap until its
+        turn — a callback in the batch cancelling a later batch-mate is
+        a no-op.  Use it for externally driven tick-at-a-time
+        execution; returns ``[]`` on an empty queue.
+        """
+        heap = self._heap
+        pop_entry = heapq.heappop
+        while heap and len(heap[0]) == 3 and heap[0][2].cancelled:
+            pop_entry(heap)
+            self._dead -= 1
+        if not heap:
+            return []
+        tick = heap[0][0]
+        batch: list[Event] = []
+        append = batch.append
+        while heap and heap[0][0] == tick:
+            entry = pop_entry(heap)
+            if len(entry) == 4:
+                time, seq, fn, args = entry
+                self._live -= 1
+                self._foreground -= 1
+                event = Event(time, seq, fn, args, self, False)
+                event.executed = True
+                append(event)
+                continue
+            event = entry[2]
+            if event.cancelled:
+                self._dead -= 1
+                continue
+            event.executed = True
+            self._live -= 1
+            if not event.daemon:
+                self._foreground -= 1
+            append(event)
+        return batch
+
     def peek_time(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap and len(heap[0]) == 3 and heap[0][2].cancelled:
             heapq.heappop(heap)
             self._dead -= 1
         if not heap:
@@ -171,6 +357,9 @@ class EventQueue:
         holds a direct reference to the heap list across callbacks, and
         a callback may cancel events and trigger compaction mid-run.
         """
-        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        self._heap[:] = [
+            entry for entry in self._heap
+            if len(entry) == 4 or not entry[2].cancelled
+        ]
         heapq.heapify(self._heap)
         self._dead = 0

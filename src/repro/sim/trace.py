@@ -46,7 +46,7 @@ ANNOTATION = "annotation"
 _MESSAGE_KINDS = (MSG_SEND, MSG_DELIVER, MSG_DROP)
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One structured trace record: a timestamp, a kind, and fields."""
 

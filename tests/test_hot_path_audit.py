@@ -1,0 +1,251 @@
+"""Hot-path invariants: slotted structs, pool lifetime, batched dispatch.
+
+Three families of checks guard the raw-speed machinery:
+
+* **Slots audit** — the structs on the per-event/per-message hot path
+  (:class:`Event`, the network/RPC/replication message dataclasses,
+  :class:`TraceEvent`) must stay ``__slots__``-only: no instance
+  ``__dict__``, so no silent ad-hoc attributes and no per-instance
+  dict allocation.  An AST scan backs this up by rejecting attribute
+  writes to Event internals from outside the queue/simulator modules.
+* **Pool lifetime** — ``call_soon`` handles are recycled at dispatch;
+  an AST scan insists no call site ever *binds* the returned handle
+  (what is never bound cannot be retained), and a runtime test proves
+  the debug mode catches a retained handle being touched after
+  recycling.
+* **Batched dispatch** — ``Simulator.run``'s batched inner loop must
+  be observationally identical to popping one event at a time: a
+  property test drives random schedules (same-tick cascades,
+  cancellations, daemons) through ``run()`` and a ``step()`` loop and
+  requires byte-identical trace hashes.
+"""
+
+import ast
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.perf import HashingTracer
+from repro.replication.common import Reply, Request
+from repro.replication.quorum import FetchMsg, FetchReply, QGet, QPut, StoreAck, StoreMsg
+from repro.sim import Simulator
+from repro.sim.events import Event, EventQueue, PooledEvent, set_pool_debug
+from repro.sim.network import LinkFault
+from repro.sim.trace import TraceEvent
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+# ---------------------------------------------------------------------------
+# Slots audit
+# ---------------------------------------------------------------------------
+
+SLOTTED_HOT_STRUCTS = [
+    Event(0.0, 0, lambda: None, ()),
+    PooledEvent(0.0, 0, lambda: None, ()),
+    Request(1, "payload"),
+    Reply(1),
+    QPut("k", "v"),
+    QGet("k"),
+    StoreMsg(1, "k", "v", None),
+    StoreAck(1),
+    FetchMsg(1, "k"),
+    FetchReply(1, "k", None, None),
+    LinkFault(),
+    TraceEvent(0.0, "kind"),
+]
+
+
+@pytest.mark.parametrize(
+    "instance", SLOTTED_HOT_STRUCTS,
+    ids=[type(obj).__name__ for obj in SLOTTED_HOT_STRUCTS],
+)
+def test_hot_structs_reject_ad_hoc_attributes(instance):
+    assert not hasattr(instance, "__dict__"), (
+        f"{type(instance).__name__} grew an instance __dict__ — "
+        "a base class lost its __slots__"
+    )
+    with pytest.raises(AttributeError):
+        instance.some_ad_hoc_attribute = 1
+
+
+#: Attribute names that constitute Event's internals.  Writing them on
+#: any attribute target outside the queue/simulator modules means some
+#: protocol is poking scheduled-event state directly — which breaks
+#: once the handle is pool-recycled.
+_EVENT_INTERNALS = frozenset(
+    {"cancelled", "executed", "daemon", "_freed", "_queue"}
+)
+_EVENT_MODULES = frozenset({"events.py", "core.py"})
+
+
+def _py_files():
+    return [
+        path for path in sorted(SRC.rglob("*.py"))
+        if "__pycache__" not in path.parts
+    ]
+
+
+def test_no_external_writes_to_event_internals():
+    offenders = []
+    for path in _py_files():
+        if path.name in _EVENT_MODULES and path.parent.name == "sim":
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr in _EVENT_INTERNALS
+                        # self.daemon etc. on unrelated classes is fine;
+                        # flag only writes through obvious event handles.
+                        and isinstance(target.value, ast.Name)
+                        and ("event" in target.value.id.lower()
+                             or "timer" in target.value.id.lower())):
+                    offenders.append(
+                        f"{path.relative_to(SRC)}:{node.lineno} "
+                        f"writes {target.value.id}.{target.attr}"
+                    )
+    assert offenders == []
+
+
+def test_no_call_site_binds_a_call_soon_handle():
+    """Pool safety by construction: a handle that is never bound cannot
+    be retained past dispatch.  Every ``call_soon(...)`` call in the
+    package must be a bare expression statement (callers needing a
+    long-lived handle must use ``schedule(0.0, ...)``)."""
+
+    def is_call_soon(call):
+        return (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "call_soon")
+
+    offenders = []
+    for path in _py_files():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                if is_call_soon(child) and not (
+                    isinstance(node, ast.Expr) and node.value is child
+                ):
+                    offenders.append(
+                        f"{path.relative_to(SRC)}:{child.lineno} binds or "
+                        "nests the call_soon handle"
+                    )
+    assert offenders == []
+
+
+# ---------------------------------------------------------------------------
+# Pool lifetime (runtime)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def pool_debug():
+    set_pool_debug(True)
+    try:
+        yield
+    finally:
+        set_pool_debug(False)
+
+
+def test_pool_debug_catches_use_after_free(pool_debug):
+    sim = Simulator()
+    leaked = {}
+
+    def grab():
+        # Deliberately violate the contract: retain the handle of the
+        # *currently dispatching* pooled event.
+        leaked["handle"] = handle
+
+    handle = sim.call_soon(grab)
+    sim.run()
+    with pytest.raises(SimulationError, match="use-after-free"):
+        leaked["handle"].cancel()
+
+
+def test_pool_reuses_recycled_events_outside_debug():
+    q = EventQueue()
+    first = q.push_pooled(0.0, lambda: None)
+    q.pop()
+    q.recycle(first)
+    second = q.push_pooled(1.0, lambda: None)
+    assert second is first  # round-tripped through the free list
+    assert not second._freed
+
+
+def test_cancel_before_dispatch_is_allowed_for_pooled(pool_debug):
+    sim = Simulator()
+    fired = []
+    handle = sim.call_soon(fired.append, "nope")
+    handle.cancel()  # before dispatch: legal, pooled or not
+    sim.schedule(1.0, fired.append, "yes")
+    sim.run()
+    assert fired == ["yes"]
+
+
+# ---------------------------------------------------------------------------
+# Batched dispatch == sequential dispatch (property)
+# ---------------------------------------------------------------------------
+
+
+def _drive(sim, plan):
+    """Schedule a workload exercising same-tick cascades, daemons and
+    cross-cancellation, entirely determined by ``plan``."""
+    handles = []
+    out = []
+
+    def leaf(tag):
+        out.append((sim.now, tag))
+
+    def fanout(tag):
+        out.append((sim.now, tag))
+        sim.call_soon(leaf, -tag)  # same-tick cascade mid-batch
+
+    def canceller(tag):
+        out.append((sim.now, tag))
+        if handles:
+            handles.pop().cancel()  # may kill a same-tick batch-mate
+
+    for index, (tick, kind) in enumerate(plan):
+        when = float(tick)
+        if kind == 0:
+            handles.append(sim.schedule(when, leaf, index))
+        elif kind == 1:
+            sim.schedule(when, fanout, index)
+        elif kind == 2:
+            sim.schedule(when, canceller, index)
+        else:
+            sim.schedule_daemon(when, leaf, index)
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=4),
+              st.integers(min_value=0, max_value=3)),
+    max_size=25,
+))
+def test_batched_run_trace_equals_step_loop_trace(plan):
+    batched_tracer, stepped_tracer = HashingTracer(), HashingTracer()
+
+    batched = Simulator(seed=1, tracer=batched_tracer)
+    batched_out = _drive(batched, plan)
+    batched.run()
+
+    stepped = Simulator(seed=1, tracer=stepped_tracer)
+    stepped_out = _drive(stepped, plan)
+    while stepped.step(daemons=False):
+        pass
+
+    assert batched_out == stepped_out
+    assert batched.events_processed == stepped.events_processed
+    assert batched.now == stepped.now
+    assert batched_tracer.hexdigest() == stepped_tracer.hexdigest()

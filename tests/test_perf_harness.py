@@ -12,6 +12,7 @@ import pytest
 
 from repro.cli import main
 from repro.perf import (
+    DEFAULT_SCENARIOS,
     SCENARIOS,
     HashingTracer,
     PerfHarnessError,
@@ -27,10 +28,16 @@ from repro.sim.trace import Tracer
 def test_scenario_registry_names():
     assert set(SCENARIOS) == {
         "quorum_ycsb", "sharded_ring", "multipaxos", "crdt_merge_storm",
-        "quorum_chaos", "openloop_overload",
+        "quorum_chaos", "openloop_overload", "quorum_ycsb_100x",
     }
     for scenario in SCENARIOS.values():
         assert scenario.description
+
+
+def test_default_scenarios_exclude_heavyweights():
+    # The gated bench set (what BENCH_CORE.json pins) must not grow a
+    # heavyweight scenario by accident; 100x is opt-in only.
+    assert set(DEFAULT_SCENARIOS) == set(SCENARIOS) - {"quorum_ycsb_100x"}
 
 
 def test_hashing_tracer_matches_dumped_jsonl(tmp_path):
@@ -105,7 +112,7 @@ def test_run_suite_rejects_unknown_scenario():
 
 
 def _doc(events_per_sec=1000.0, trace_hash="t1", metrics_digest="m1",
-         seed=42, quick=True, python="3.11.7"):
+         seed=42, quick=True, python="3.11.7", peak_rss_kb=50_000):
     return {
         "schema": "repro.perf.bench_core/1",
         "seed": seed,
@@ -117,6 +124,7 @@ def _doc(events_per_sec=1000.0, trace_hash="t1", metrics_digest="m1",
                 "events_per_sec": events_per_sec,
                 "trace_hash": trace_hash,
                 "metrics_digest": metrics_digest,
+                "peak_rss_kb": peak_rss_kb,
             },
         },
     }
@@ -130,6 +138,20 @@ def test_compare_flags_regression():
     problems = compare(_doc(events_per_sec=500.0), _doc(), tolerance=0.30)
     assert len(problems) == 1
     assert "regressed" in problems[0]
+
+
+def test_compare_flags_rss_growth():
+    problems = compare(_doc(peak_rss_kb=70_000), _doc())
+    assert len(problems) == 1
+    assert "peak RSS grew" in problems[0]
+
+
+def test_compare_rss_within_tolerance_passes():
+    # 20% growth is the fence; 15% stays inside it, and a missing
+    # measurement (None on Windows) must not trip the gate.
+    assert compare(_doc(peak_rss_kb=57_500), _doc()) == []
+    assert compare(_doc(peak_rss_kb=None), _doc()) == []
+    assert compare(_doc(), _doc(peak_rss_kb=None)) == []
 
 
 def test_compare_flags_missing_scenario():
