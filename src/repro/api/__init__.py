@@ -4,6 +4,7 @@
 >>> for name in registry.names():
 ...     print(name)
 bayou
+cached
 causal
 chain
 multipaxos

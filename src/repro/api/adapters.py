@@ -1030,3 +1030,8 @@ class PileusStore(ConsistentStore):
 
     def settle(self) -> None:
         self.cluster.anti_entropy_sweep()
+
+
+# Importing the cache tier registers the "cached" wrapper adapter —
+# last, so it can wrap any of the protocols registered above.
+from .. import cache as _cache  # noqa: E402,F401

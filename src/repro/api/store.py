@@ -109,6 +109,13 @@ class StoreCapabilities:
     #: a documented design limitation, not a free pass: the reason is
     #: printed in every verdict table.
     chaos_waivers: tuple[tuple[str, str], ...] = ()
+    #: Declared upper bound (simulated ms) on the t-visibility
+    #: staleness a default-mode read may exhibit, when the store can
+    #: promise one — a cache over a fresh backing store declares
+    #: roughly its TTL plus write-visibility lag.  ``None`` = no
+    #: declared bound; the conformance suites check
+    #: ``check_bounded_staleness`` against this number when set.
+    staleness_bound_ms: float | None = None
 
     @property
     def default_read_mode(self) -> str:

@@ -1,0 +1,179 @@
+"""Change-data-capture off the cache's write path.
+
+A :class:`ChangeLog` tails every *acked backing write* a
+:class:`~repro.cache.CachedStore` performs — direct writes for the
+synchronous policies, flush acks for write-behind — as a totally
+ordered, fingerprint-checkable stream of :class:`ChangeEvent`\\ s.
+Derived-data consumers subscribe to it:
+
+* :class:`InvalidationFeed` — fans events out to *other* caches as
+  invalidations (optionally after a delivery delay), the classic
+  CDC-driven cache-coherence bus.  Delivery rides the simulator clock,
+  not the faulty network, so invalidation keeps flowing while a
+  nemesis partitions the replicas — "nemesis-safe" by construction.
+* :class:`MaterializedView` — a key → projected-value map maintained
+  incrementally from the stream.  ``MaterializedView.rebuild`` replays
+  the log from scratch; at any quiescent point the live view and the
+  rebuild must agree fingerprint-for-fingerprint (the property the
+  test suite enforces).
+
+Determinism: events are appended in simulator order with dense
+sequence numbers and hashed with a canonical encoding, so the same
+seed yields the same CDC fingerprint byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+__all__ = ["ChangeEvent", "ChangeLog", "InvalidationFeed",
+           "MaterializedView"]
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One acked backing write, as seen by the cache tier."""
+
+    seq: int          # dense, 1-based position in the log
+    time: float       # simulated ms of the backing ack
+    key: Hashable
+    value: Any
+    token: Any        # the version token the cache tracks for the write
+
+    def encode(self) -> bytes:
+        """Canonical byte encoding (fingerprints, wire framing)."""
+        return (f"{self.seq}|{self.time!r}|{self.key!r}|"
+                f"{self.value!r}|{self.token!r}\n").encode()
+
+
+class ChangeLog:
+    """An append-only, subscribable log of acked backing writes."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.events: list[ChangeEvent] = []
+        self._subscribers: list[Callable[[ChangeEvent], None]] = []
+        self._counter = sim.metrics.counter("cache.cdc_events")
+
+    def append(self, key: Hashable, value: Any, token: Any) -> ChangeEvent:
+        event = ChangeEvent(len(self.events) + 1, self.sim.now,
+                            key, value, token)
+        self.events.append(event)
+        self._counter.inc()
+        self.sim.annotate("cdc", op="append", key=key, seq=event.seq)
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+        return event
+
+    def subscribe(
+        self, fn: Callable[[ChangeEvent], None]
+    ) -> Callable[[ChangeEvent], None]:
+        """Call ``fn(event)`` on every future append; returns ``fn``."""
+        self._subscribers.append(fn)
+        return fn
+
+    def replay(self) -> Iterator[ChangeEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def fingerprint(self) -> str:
+        """Order-sensitive digest of the whole stream."""
+        digest = hashlib.blake2b(digest_size=16)
+        for event in self.events:
+            digest.update(event.encode())
+        return digest.hexdigest()
+
+
+class InvalidationFeed:
+    """Fans a ChangeLog out to peer caches as invalidations.
+
+    ``delay`` models the propagation lag of the invalidation bus in
+    simulated ms; within ``delay`` of any backing ack, every attached
+    cache has dropped (or floor-fenced) its stale copy of the key.
+    """
+
+    def __init__(self, log: ChangeLog, delay: float = 0.0) -> None:
+        self.log = log
+        self.sim = log.sim
+        self.delay = delay
+        self.targets: list[Any] = []
+        self.delivered = 0
+        log.subscribe(self._on_event)
+
+    def attach(self, cache_store: Any) -> "InvalidationFeed":
+        """Attach a peer cache (anything with ``invalidate(key, token)``)."""
+        self.targets.append(cache_store)
+        return self
+
+    def _on_event(self, event: ChangeEvent) -> None:
+        for target in list(self.targets):
+            if self.delay > 0:
+                self.sim.schedule(self.delay, self._deliver, target, event)
+            else:
+                self._deliver(target, event)
+
+    def _deliver(self, target: Any, event: ChangeEvent) -> None:
+        target.invalidate(event.key, token=event.token)
+        self.delivered += 1
+        self.sim.annotate("cdc", op="invalidate", key=event.key,
+                          seq=event.seq)
+
+
+class MaterializedView:
+    """A key → projected-value map maintained from a ChangeLog.
+
+    ``project(key, value)`` derives the stored cell (default:
+    identity).  ``apply`` is replay-safe: events at or below the
+    applied watermark are ignored, so re-subscribing or replaying a
+    prefix cannot double-apply.
+    """
+
+    def __init__(self, name: str = "view",
+                 project: Callable[[Hashable, Any], Any] | None = None
+                 ) -> None:
+        self.name = name
+        self.project = project if project is not None else (lambda k, v: v)
+        self.state: dict[Hashable, Any] = {}
+        self.applied_seq = 0
+
+    def apply(self, event: ChangeEvent) -> None:
+        if event.seq <= self.applied_seq:
+            return
+        self.state[event.key] = self.project(event.key, event.value)
+        self.applied_seq = event.seq
+
+    def follow(self, log: ChangeLog) -> "MaterializedView":
+        """Subscribe to ``log``, applying the backlog first."""
+        for event in log.replay():
+            self.apply(event)
+        log.subscribe(self.apply)
+        return self
+
+    @classmethod
+    def rebuild(
+        cls, log: ChangeLog, name: str = "rebuild",
+        project: Callable[[Hashable, Any], Any] | None = None,
+    ) -> "MaterializedView":
+        """A from-scratch view built by replaying the whole log."""
+        view = cls(name, project)
+        for event in log.replay():
+            view.apply(event)
+        return view
+
+    def fingerprint(self) -> str:
+        """Order-insensitive digest of the current state."""
+        digest = hashlib.blake2b(digest_size=16)
+        for key in sorted(self.state, key=repr):
+            digest.update(f"{key!r}={self.state[key]!r};".encode())
+        return digest.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MaterializedView {self.name} keys={len(self.state)} "
+                f"applied={self.applied_seq}>")

@@ -1,0 +1,323 @@
+"""Cache conformance: every policy × every adapter, checker-verified.
+
+The ChaosRunner asks "does a protocol defend its declared guarantees
+under faults?"; this module asks the same question one tier up — with
+the history recorded at the *cache boundary*, so the verdicts describe
+what a client of the cache actually observes:
+
+* convergence after heal + settle (write-behind must drain its dirty
+  entries into the backing replicas);
+* all four session guarantees, measured on every cell — claimed ones
+  must PASS, unclaimed ones surface as WAIVED with the documented
+  policy reason (plus whether they happened to hold on this run);
+* bounded staleness against the capability-declared TTL-derived bound
+  (``staleness_bound_ms``), with per-tier attribution of whatever
+  staleness showed up.
+
+Every cell runs in a fresh seeded simulator under a
+:class:`~repro.perf.harness.HashingTracer`, so it has a trace
+fingerprint: same seed + same cell ⇒ byte-identical run, which the
+``repro cache --check-determinism`` CI gate verifies back to back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..api import registry
+from ..chaos.plan import PLANS, FaultPlan
+from ..chaos.runner import SESSION_CHECKERS
+from ..checkers import (
+    check_bounded_staleness,
+    check_convergence,
+    stale_read_fraction,
+    staleness_by_tier,
+)
+from ..chaos.nemesis import Nemesis
+from ..perf.harness import HashingTracer
+from ..sim import FixedLatency, Network, Simulator
+from ..workload import YCSBWorkload, run_workload
+from .store import POLICIES
+
+PASS, FAIL, UNKNOWN, WAIVED = "pass", "fail", "unknown", "waived"
+
+#: Backing read mode per adapter for cache-miss fetches — mirrors the
+#: ChaosRunner's per-protocol tuning so "what the cache fetches" is
+#: the mode each adapter's claims are defined against.
+MISS_MODES: dict[str, str] = {
+    "quorum": "quorum",
+    "quorum_siblings": "quorum",
+    "causal": "local",
+    "timeline": "critical",
+    "bayou": "tentative",
+    "primary_backup": "primary",
+    "chain": "tail",
+    "multipaxos": "log",
+    "pileus": "sla",
+}
+
+#: Adapters a conformance sweep covers by default: every registered
+#: protocol except the cache wrapper itself.
+def default_adapters() -> list[str]:
+    return [name for name in registry.names() if name != "cached"]
+
+
+@dataclass
+class CacheCheck:
+    """One guarantee's verdict for one (adapter, policy) cell."""
+
+    guarantee: str
+    status: str                 # pass | fail | unknown | waived
+    detail: str = ""
+    claimed: bool = False
+    checked_ops: int = 0
+
+
+@dataclass
+class CacheCellReport:
+    """One (adapter, policy) cell's full outcome."""
+
+    adapter: str
+    policy: str
+    seed: int
+    plan: str
+    fingerprint: str
+    hit_rate: float = 0.0
+    ops_ok: int = 0
+    ops_failed: int = 0
+    stale_fraction: float = 0.0
+    stale_by_tier: dict = field(default_factory=dict)
+    results: list[CacheCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.status != FAIL for r in self.results)
+
+    def check(self, guarantee: str) -> CacheCheck | None:
+        for result in self.results:
+            if result.guarantee == guarantee:
+                return result
+        return None
+
+
+def run_cache_cell(
+    adapter: str,
+    policy: str,
+    seed: int = 42,
+    plan: FaultPlan | str | None = None,
+    nodes: int = 3,
+    clients: int = 2,
+    ops: int = 60,
+    op_timeout: float = 250.0,
+    think_time: float = 2.0,
+    preset: str = "A",
+    records: int = 16,
+    ttl: float = 60.0,
+    capacity: int = 64,
+    flush_delay: float = 10.0,
+    heal: bool = True,
+) -> CacheCellReport:
+    """One conformance cell: ``policy`` over ``adapter``, checked.
+
+    ``policy="uncached"`` runs the bare adapter with the same workload
+    — the baseline row of the E19 table.  ``plan`` installs a nemesis
+    fault plan for the duration of the workload; with ``heal`` the run
+    ends with heal + two settle rounds before checking.
+    """
+    if isinstance(plan, str):
+        plan = PLANS[plan]
+    tracer = HashingTracer()
+    sim = Simulator(seed=seed, tracer=tracer)
+    network = Network(sim, latency=FixedLatency(2.0))
+    uncached = policy == "uncached"
+    if uncached:
+        store = registry.build(adapter, sim, network, nodes=nodes)
+        read_mode = MISS_MODES.get(adapter)
+    else:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown cache policy {policy!r}")
+        store = registry.build(
+            "cached", sim, network, protocol=adapter, policy=policy,
+            nodes=nodes, ttl=ttl, capacity=capacity,
+            flush_delay=flush_delay, miss_mode=MISS_MODES.get(adapter),
+        )
+        read_mode = "cached"
+    nemesis = Nemesis(plan, seed=seed) if plan is not None else None
+    workload = YCSBWorkload(preset, records=records, seed=seed)
+    result = run_workload(
+        store, workload.take(ops), clients=clients, timeout=op_timeout,
+        think_time=think_time, read_mode=read_mode, nemesis=nemesis,
+    )
+    if nemesis is not None and heal:
+        nemesis.heal_all()
+        sim.run()
+        store.settle()
+        sim.run()
+        store.settle()
+        sim.run()
+    elif not uncached:
+        # Even fault-free write-behind runs need a drain before the
+        # convergence check sees the backing replicas agree.
+        store.settle()
+        sim.run()
+
+    history = result.history
+    caps = store.capabilities
+    checks: list[CacheCheck] = []
+
+    # Convergence after heal + settle.
+    if caps.eventually_convergent:
+        verdict = check_convergence(store.snapshots())
+        if verdict.ok:
+            checks.append(CacheCheck("convergence", PASS, claimed=True,
+                                     checked_ops=verdict.checked_ops))
+        else:
+            checks.append(CacheCheck(
+                "convergence", FAIL,
+                "; ".join(str(v) for v in verdict.violations[:3]),
+                claimed=True, checked_ops=verdict.checked_ops,
+            ))
+    else:
+        checks.append(CacheCheck("convergence", UNKNOWN,
+                                 "not claimed by capabilities"))
+
+    # All four session guarantees, measured on every cell.
+    for guarantee, checker in SESSION_CHECKERS.items():
+        verdict = checker(history)
+        claimed = guarantee in caps.session_guarantees
+        measured_ok = verdict.ok
+        if claimed:
+            if verdict.checked_ops == 0:
+                checks.append(CacheCheck(
+                    guarantee, UNKNOWN, "vacuous: no checkable ops",
+                    claimed=True,
+                ))
+            elif measured_ok:
+                checks.append(CacheCheck(guarantee, PASS, claimed=True,
+                                         checked_ops=verdict.checked_ops))
+            else:
+                checks.append(CacheCheck(
+                    guarantee, FAIL,
+                    "; ".join(str(v) for v in verdict.violations[:3]),
+                    claimed=True, checked_ops=verdict.checked_ops,
+                ))
+            continue
+        waiver = (caps.waiver_for(guarantee)
+                  or caps.waiver_for("session"))
+        if waiver:
+            suffix = (" (held on this run)" if measured_ok
+                      else " (violated on this run)")
+            checks.append(CacheCheck(guarantee, WAIVED, waiver + suffix,
+                                     checked_ops=verdict.checked_ops))
+        else:
+            checks.append(CacheCheck(
+                guarantee, UNKNOWN,
+                "not claimed" + (" (held on this run)" if measured_ok
+                                 else " (violated on this run)"),
+                checked_ops=verdict.checked_ops,
+            ))
+
+    # Bounded staleness against the declared TTL-derived bound.  The
+    # slack is the per-op timeout: an entry filled by a read that took
+    # the full timeout carries state up to that much older than its
+    # install time (plus any in-flight write acked after the fetch).
+    if caps.staleness_bound_ms is not None:
+        bound = caps.staleness_bound_ms + op_timeout
+        verdict = check_bounded_staleness(history, max_time=bound)
+        if verdict.ok:
+            checks.append(CacheCheck(
+                "bounded-staleness", PASS,
+                f"t-visibility <= {bound:.0f}ms",
+                claimed=True, checked_ops=verdict.checked_ops,
+            ))
+        else:
+            checks.append(CacheCheck(
+                "bounded-staleness", FAIL,
+                "; ".join(str(v) for v in verdict.violations[:3]),
+                claimed=True, checked_ops=verdict.checked_ops,
+            ))
+    else:
+        checks.append(CacheCheck(
+            "bounded-staleness", UNKNOWN,
+            "no declared bound (weak backing reads can exceed any TTL)",
+        ))
+
+    if uncached:
+        hit_rate = 0.0
+    else:
+        stats = store.cache_stats()
+        hit_rate = stats["hit_rate"]
+    by_tier = {
+        tier: round(ts.stale_fraction, 4)
+        for tier, ts in sorted(staleness_by_tier(history).items(),
+                               key=lambda item: repr(item[0]))
+    }
+    return CacheCellReport(
+        adapter=adapter,
+        policy=policy,
+        seed=seed,
+        plan=plan.name if plan is not None else "none",
+        fingerprint=tracer.hexdigest(),
+        hit_rate=hit_rate,
+        ops_ok=result.ops_ok,
+        ops_failed=result.ops_failed,
+        stale_fraction=stale_read_fraction(history),
+        stale_by_tier=by_tier,
+        results=checks,
+    )
+
+
+def run_cache_conformance(
+    adapters: list[str] | None = None,
+    policies: tuple[str, ...] = POLICIES,
+    **cell_kwargs: Any,
+) -> list[CacheCellReport]:
+    """The full grid: every policy over every adapter."""
+    if adapters is None:
+        adapters = default_adapters()
+    return [
+        run_cache_cell(adapter, policy, **cell_kwargs)
+        for adapter in adapters
+        for policy in policies
+    ]
+
+
+def format_cache_reports(reports: list[CacheCellReport]) -> str:
+    """The verdict table ``repro cache`` prints."""
+    lines: list[str] = []
+    if reports:
+        lines.append(
+            f"cache conformance: plan={reports[0].plan} "
+            f"seed={reports[0].seed}"
+        )
+    header = (f"{'adapter':<16}{'policy':<14}{'guarantee':<18}"
+              f"{'status':<9}detail")
+    lines.append(header)
+    lines.append("-" * max(60, len(header)))
+    for report in reports:
+        summary = (f"ok={report.ops_ok} failed={report.ops_failed} "
+                   f"hit={report.hit_rate:.0%} "
+                   f"stale={report.stale_fraction:.0%} "
+                   f"fp={report.fingerprint[:12]}")
+        lines.append(
+            f"{report.adapter:<16}{report.policy:<14}{'(workload)':<18}"
+            f"{'':<9}{summary}"
+        )
+        for check in report.results:
+            detail = check.detail
+            if check.status == PASS and check.checked_ops and not detail:
+                detail = f"{check.checked_ops} ops checked"
+            if len(detail) > 58:
+                detail = detail[:55] + "..."
+            lines.append(
+                f"{'':<16}{'':<14}{check.guarantee:<18}"
+                f"{check.status.upper():<9}{detail}"
+            )
+    failed = [f"{r.adapter}/{r.policy}" for r in reports if not r.ok]
+    lines.append("-" * max(60, len(header)))
+    if failed:
+        lines.append(f"FAIL: {', '.join(failed)}")
+    else:
+        lines.append(f"PASS: {len(reports)} cell(s) conform")
+    return "\n".join(lines)

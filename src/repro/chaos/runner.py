@@ -62,6 +62,10 @@ TUNING: dict[str, dict[str, Any]] = {
     "chain": {"read_mode": "tail"},
     "multipaxos": {"read_mode": "log"},
     "pileus": {"read_mode": "sla"},
+    # The cache wrapper (default: write_through over quorum) records
+    # its chaos history at the cache boundary; the dedicated grid in
+    # repro.cache.conformance sweeps every policy × adapter cell.
+    "cached": {"read_mode": "cached"},
 }
 
 

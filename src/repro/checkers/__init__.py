@@ -25,10 +25,13 @@ from .session import (
     check_writes_follow_reads,
 )
 from .staleness import (
+    ANY_TIER,
     ReadStaleness,
+    TierStaleness,
     check_bounded_staleness,
     measure_staleness,
     stale_read_fraction,
+    staleness_by_tier,
     staleness_distribution,
 )
 
@@ -56,7 +59,10 @@ __all__ = [
     "MISSING",
     "measure_staleness",
     "ReadStaleness",
+    "TierStaleness",
+    "ANY_TIER",
     "check_bounded_staleness",
     "stale_read_fraction",
+    "staleness_by_tier",
     "staleness_distribution",
 ]

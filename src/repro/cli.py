@@ -12,6 +12,9 @@ Commands
 ``bench``               run the seeded macro perf suite (BENCH_CORE.json)
 ``chaos``               run the nemesis conformance suite: every adapter
                         under a seeded fault plan, checker verdict table
+``cache``               run the cache conformance grid: every cache
+                        policy over every adapter, histories recorded at
+                        the cache boundary, checker verdict per cell
 ``load``                open-loop load generator (Poisson/diurnal/flash
                         arrivals); ``--storm`` runs the hot-key storm demo
 ``scale``               elastic-scaling demo: live ring moves under
@@ -425,6 +428,64 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(report.ok for report in reports) else 1
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Run the cache conformance grid and print the verdict table.
+
+    Each cell wraps one backing adapter in a :class:`repro.cache.\
+CachedStore` under one policy, drives a chaos workload with histories
+    recorded at the cache boundary, and applies the standard checkers.
+
+    Exit status: 0 when no cell FAILs, 1 on any checker FAIL or (with
+    ``--check-determinism``) trace fingerprint drift, 2 on bad args.
+    """
+    from .api import registry
+    from .cache import (
+        POLICIES,
+        default_adapters,
+        format_cache_reports,
+        run_cache_conformance,
+    )
+    from .chaos import PLANS
+
+    if args.plan not in PLANS:
+        print(f"unknown plan {args.plan!r}; available: "
+              f"{', '.join(sorted(PLANS))}", file=sys.stderr)
+        return 2
+    adapters = args.adapter or default_adapters()
+    unknown = [a for a in adapters if a not in registry.names()]
+    if unknown:
+        print(f"unknown adapter(s): {', '.join(unknown)}; available: "
+              f"{', '.join(default_adapters())}", file=sys.stderr)
+        return 2
+    policies = args.policy or list(POLICIES)
+    bad = [p for p in policies if p not in POLICIES and p != "uncached"]
+    if bad:
+        print(f"unknown policy(s): {', '.join(bad)}; available: "
+              f"{', '.join(POLICIES)}, uncached", file=sys.stderr)
+        return 2
+
+    knobs = dict(seed=args.seed, plan=args.plan, ops=args.ops)
+    reports = run_cache_conformance(adapters, policies, **knobs)
+    print(format_cache_reports(reports))
+
+    if args.check_determinism:
+        again = run_cache_conformance(adapters, policies, **knobs)
+        first = {(r.adapter, r.policy): r.fingerprint for r in reports}
+        second = {(r.adapter, r.policy): r.fingerprint for r in again}
+        if first != second:
+            drifted = sorted(
+                f"{a}/{p}" for (a, p) in first
+                if first[a, p] != second.get((a, p))
+            )
+            print(f"\nFAIL: nondeterministic trace fingerprint for "
+                  f"{', '.join(drifted)}", file=sys.stderr)
+            return 1
+        print(f"\ndeterminism: {len(first)} cell(s) reproduced identical "
+              f"fingerprints on a second run")
+
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def cmd_load(args: argparse.Namespace) -> int:
     """Open-loop load generator (``repro load``), plus the hot-key
     storm demo (``repro load --storm``).
@@ -752,6 +813,31 @@ def main(argv: list[str] | None = None) -> int:
     chaos_parser.add_argument("--list", action="store_true",
                               help="list built-in fault plans and exit")
 
+    cache_parser = sub.add_parser(
+        "cache", help="cache conformance grid: policy x adapter + checkers"
+    )
+    cache_parser.add_argument("--seed", type=int, default=42)
+    cache_parser.add_argument(
+        "--plan", default="partitions",
+        help="fault plan name (default: partitions; see chaos --list)",
+    )
+    cache_parser.add_argument(
+        "--adapter", action="append", default=[],
+        help="backing adapter (repeatable; default: all registered)",
+    )
+    cache_parser.add_argument(
+        "--policy", action="append", default=[],
+        help="cache policy (repeatable; default: all four; "
+             "'uncached' runs the bare adapter baseline)",
+    )
+    cache_parser.add_argument("--ops", type=int, default=60,
+                              help="workload length per cell")
+    cache_parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="run the whole grid twice and fail on any trace "
+             "fingerprint drift",
+    )
+
     load_parser = sub.add_parser(
         "load", help="open-loop load generator + hot-key storm demo"
     )
@@ -849,6 +935,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": cmd_bench,
         "sweep": cmd_sweep,
         "chaos": cmd_chaos,
+        "cache": cmd_cache,
         "load": cmd_load,
         "scale": cmd_scale,
         "multiregion": cmd_multiregion,

@@ -37,6 +37,13 @@ class Operation:
     value: Any = None
     op_id: int = field(default_factory=lambda: next(_op_ids))
     replica: Hashable = None  # which replica served it (diagnostics)
+    #: Which serving tier answered: ``"cache"`` for a cache hit,
+    #: ``"store"`` for a read/write that reached the backing store,
+    #: ``None`` when the history was recorded below any cache.  Lets
+    #: the staleness checkers attribute staleness to the tier that
+    #: caused it instead of assuming every op observed the
+    #: authoritative store.
+    tier: Hashable = None
 
     @property
     def is_read(self) -> bool:
@@ -66,9 +73,11 @@ def make_write(
     end: float | None = 0.0,
     value: Any = None,
     replica: Hashable = None,
+    tier: Hashable = None,
 ) -> Operation:
     """Test/bench helper: a completed write operation."""
-    return Operation("write", key, version, session, start, end, value, replica=replica)
+    return Operation("write", key, version, session, start, end, value,
+                     replica=replica, tier=tier)
 
 
 def make_read(
@@ -79,9 +88,11 @@ def make_read(
     end: float | None = 0.0,
     value: Any = None,
     replica: Hashable = None,
+    tier: Hashable = None,
 ) -> Operation:
     """Test/bench helper: a completed read operation."""
-    return Operation("read", key, version, session, start, end, value, replica=replica)
+    return Operation("read", key, version, session, start, end, value,
+                     replica=replica, tier=tier)
 
 
 # Aliases that read naturally at call sites.

@@ -52,8 +52,13 @@ class HistoryRecorder:
         version: int,
         value: Any = None,
         replica: Hashable = None,
+        tier: Hashable = None,
     ) -> Operation:
-        """Record a successful response for ``handle``."""
+        """Record a successful response for ``handle``.
+
+        ``tier`` names the serving tier that answered (``"cache"`` /
+        ``"store"``) when the history is recorded at a cache boundary.
+        """
         pending = self._pending.pop(handle)
         op = Operation(
             kind=pending.kind,
@@ -64,6 +69,7 @@ class HistoryRecorder:
             end=self.sim.now,
             value=value,
             replica=replica if replica is not None else pending.replica,
+            tier=tier,
         )
         self._ops.append(op)
         return op
@@ -111,6 +117,7 @@ class _TokenOp:
     token: Any
     value: Any
     replica: Hashable
+    tier: Hashable = None
 
 
 class TokenHistoryRecorder(HistoryRecorder):
@@ -140,14 +147,19 @@ class TokenHistoryRecorder(HistoryRecorder):
         token: Any,
         value: Any = None,
         replica: Hashable = None,
+        tier: Hashable = None,
     ) -> None:
-        """Record a successful response carrying a version token."""
+        """Record a successful response carrying a version token.
+
+        ``tier`` tags the op with the serving tier (``"cache"`` /
+        ``"store"``) when the caller drives a cache-fronted store."""
         pending = self._pending.pop(handle)
         self._token_ops.append(
             _TokenOp(
                 pending.kind, pending.key, pending.session, pending.start,
                 self.sim.now, token if token else None, value,
                 replica if replica is not None else pending.replica,
+                tier,
             )
         )
 
@@ -213,6 +225,7 @@ class TokenHistoryRecorder(HistoryRecorder):
                     end=raw.end,
                     value=raw.value,
                     replica=raw.replica,
+                    tier=raw.tier,
                 )
             )
         return History(ops)

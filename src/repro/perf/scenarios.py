@@ -101,6 +101,24 @@ def _run_quorum_ycsb_100x(seed: int, quick: bool, tracer: Any = None) -> Scenari
     return ScenarioOutcome(sim, result.ops_ok)
 
 
+def _run_quorum_ycsb_cached(seed: int, quick: bool, tracer: Any = None) -> ScenarioOutcome:
+    """``quorum_ycsb`` behind a write-through cache — the hit path
+    (no network round trip), the fill path, and the CDC append all on
+    the measured loop.  Not part of ``DEFAULT_SCENARIOS``: reached by
+    name, so adding the cache tier cannot shift the pinned baseline.
+    """
+    ops, clients = (400, 8) if quick else (4000, 24)
+    sim = Simulator(seed=seed, tracer=tracer)
+    net = Network(sim, latency=ExponentialLatency(base=0.3, mean=1.0))
+    store = registry.build("cached", sim, net, protocol="quorum",
+                           policy="write_through", ttl=200.0, capacity=256,
+                           miss_mode="quorum", nodes=5, r=2, w=2)
+    workload = YCSBWorkload("A", records=500, seed=seed + 1)
+    result = run_workload(store, workload.take(ops), clients=clients,
+                          timeout=60_000.0)
+    return ScenarioOutcome(sim, result.ops_ok)
+
+
 def _run_sharded_ring(seed: int, quick: bool, tracer: Any = None) -> ScenarioOutcome:
     ops, clients = (400, 16) if quick else (3000, 32)
     sim = Simulator(seed=seed, tracer=tracer)
@@ -253,6 +271,11 @@ SCENARIOS: dict[str, Scenario] = {
             "quorum_ycsb_100x",
             "quorum_ycsb at 100x the quick op count — sweep-runner fodder",
             _run_quorum_ycsb_100x,
+        ),
+        Scenario(
+            "quorum_ycsb_cached",
+            "quorum_ycsb behind a write-through cache (hit/fill/CDC paths)",
+            _run_quorum_ycsb_cached,
         ),
     )
 }

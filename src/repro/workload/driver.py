@@ -271,14 +271,18 @@ class WorkloadDriver:
                                      replica=lane.session.client_id)
         started = self.sim.now
         try:
-            value, token = yield lane.session.get(
-                key, mode=lane.read_mode, timeout=lane.timeout
-            )
+            # Hold the future itself: cache-fronted stores stamp it
+            # with the serving tier (cache hit vs backing read).
+            future = lane.session.get(key, mode=lane.read_mode,
+                                      timeout=lane.timeout)
+            value, token = yield future
         except ReproError:
             self.recorder.fail(handle)
             return (False, None) if want_value else False
         self.read_latency.record(self.sim.now - started)
-        self.recorder.complete_token(handle, token, value)
+        self.recorder.complete_token(handle, token, value,
+                                     tier=getattr(future, "served_tier",
+                                                  None))
         return (True, value) if want_value else True
 
     def _write(self, lane: _Lane, key, value):
@@ -286,14 +290,17 @@ class WorkloadDriver:
                                      replica=lane.session.client_id)
         started = self.sim.now
         try:
-            token = yield lane.session.put(key, value, timeout=lane.timeout)
+            future = lane.session.put(key, value, timeout=lane.timeout)
+            token = yield future
         except ReproError:
             # Keep the attempted value: a timed-out write may still have
             # landed, and history() ties later reads of it back here.
             self.recorder.fail(handle, value=value)
             return False
         self.write_latency.record(self.sim.now - started)
-        self.recorder.complete_token(handle, token, value)
+        self.recorder.complete_token(handle, token, value,
+                                     tier=getattr(future, "served_tier",
+                                                  None))
         return True
 
 

@@ -422,7 +422,10 @@ class OpenLoopDriver:
         self.in_flight -= 1
         value, token = future.value
         self.read_latency.record(self.sim.now - ctx.started)
-        self.recorder.complete_token(ctx.handle, token, value)
+        self.recorder.complete_token(
+            ctx.handle, token, value,
+            tier=getattr(future, "served_tier", None),
+        )
         if ctx.rmw_stage:
             new = (self.rmw_fn(value, ctx.spec.value)
                    if self.rmw_fn is not None else ctx.spec.value)
@@ -456,7 +459,10 @@ class OpenLoopDriver:
             return
         self.in_flight -= 1
         self.write_latency.record(self.sim.now - ctx.started)
-        self.recorder.complete_token(ctx.handle, future.value, value)
+        self.recorder.complete_token(
+            ctx.handle, future.value, value,
+            tier=getattr(future, "served_tier", None),
+        )
         self.ok += 1
 
     def _write_failed(self, ctx: _InFlight, value: Any,

@@ -1,0 +1,152 @@
+"""Cache conformance: every policy x every adapter, checker-verified.
+
+Each cell drives a chaos workload (partitions plan) through a
+CachedStore over one backing adapter, records the history at the cache
+boundary, heals, settles, and applies the standard checkers.  Claimed
+guarantees must PASS; dropped guarantees must surface as documented
+WAIVED rows, never as silent skips or FAILs.
+"""
+
+import pytest
+
+from repro.api import registry
+from repro.cache import (
+    POLICIES,
+    CacheCellReport,
+    default_adapters,
+    format_cache_reports,
+    run_cache_cell,
+    run_cache_conformance,
+)
+
+PASS, FAIL, UNKNOWN, WAIVED = "pass", "fail", "unknown", "waived"
+SESSION_GUARANTEES = ("ryw", "mr", "mw", "wfr")
+
+
+def assert_cell_conforms(report: CacheCellReport) -> None:
+    caps = registry.get("cached").capabilities
+    assert report.fingerprint, "every cell must carry a trace fingerprint"
+    assert report.ops_ok > 0, "the workload must make progress"
+    for check in report.results:
+        assert check.status != FAIL, (
+            f"{report.adapter}/{report.policy}: {check.guarantee} FAILED "
+            f"({check.detail})"
+        )
+    # Every session guarantee is accounted for on every cell — either
+    # claimed (PASS / vacuous UNKNOWN) or explained (WAIVED / UNKNOWN
+    # with a reason), never missing.
+    for guarantee in SESSION_GUARANTEES:
+        check = report.check(guarantee)
+        assert check is not None, (
+            f"{report.adapter}/{report.policy}: no verdict for {guarantee}"
+        )
+        if check.claimed:
+            assert check.status in (PASS, UNKNOWN)
+        else:
+            assert check.status in (WAIVED, UNKNOWN)
+            assert check.detail, "unclaimed guarantees need a reason"
+    staleness = report.check("bounded-staleness")
+    assert staleness is not None
+    assert staleness.status in (PASS, UNKNOWN)
+    assert caps.eventually_convergent  # registry-level claim checked below
+    convergence = report.check("convergence")
+    assert convergence is not None
+
+
+@pytest.mark.parametrize("adapter", default_adapters())
+def test_grid_cell_conforms_per_adapter(adapter):
+    for policy in POLICIES:
+        report = run_cache_cell(adapter, policy, seed=42,
+                                plan="partitions", ops=40)
+        assert_cell_conforms(report)
+        assert report.plan == "partitions"
+
+
+@pytest.mark.parametrize("adapter", ("quorum", "causal", "timeline"))
+def test_uncached_baseline_row(adapter):
+    report = run_cache_cell(adapter, "uncached", seed=42,
+                            plan="partitions", ops=40)
+    assert report.hit_rate == 0.0
+    for check in report.results:
+        assert check.status != FAIL
+    # The bare adapter's own claims must hold at this tuning — the
+    # chaos runner already enforces this; the baseline row re-checks
+    # it through the cache harness plumbing.
+    caps = registry.get(adapter).capabilities
+    for guarantee in caps.session_guarantees:
+        check = report.check(guarantee)
+        assert check is not None and check.status in (PASS, UNKNOWN)
+
+
+def test_claimed_guarantees_survive_the_cache():
+    """causal claims all four session guarantees; write_through must
+    carry ryw+mw through the cache boundary and PASS them."""
+    report = run_cache_cell("causal", "write_through", seed=42,
+                            plan="partitions", ops=60)
+    ryw = report.check("ryw")
+    mw = report.check("mw")
+    assert ryw.claimed and ryw.status in (PASS, UNKNOWN)
+    assert mw.claimed and mw.status in (PASS, UNKNOWN)
+    # mr and wfr were dropped by the policy: documented waivers.
+    assert report.check("mr").status == WAIVED
+    assert report.check("wfr").status == WAIVED
+    assert "TTL" in report.check("mr").detail
+
+
+def test_ttl_is_the_declared_staleness_bound():
+    """Over a fresh-reading backing store the capability bound is
+    ttl (+ flush lag) and the checker verifies it on the recorded
+    history."""
+    report = run_cache_cell("quorum", "read_through", seed=42,
+                            plan="partitions", ops=60, ttl=60.0)
+    staleness = report.check("bounded-staleness")
+    assert staleness.status == PASS
+    assert "t-visibility" in staleness.detail
+
+    wb = run_cache_cell("quorum", "write_behind", seed=42,
+                        plan="partitions", ops=60, ttl=60.0,
+                        flush_delay=10.0)
+    assert wb.check("bounded-staleness").status == PASS
+
+    # A weak backing read can exceed any TTL: no bound is declared,
+    # and the cell says so rather than claiming a vacuous PASS.
+    weak = run_cache_cell("causal", "read_through", seed=42,
+                          plan="partitions", ops=60)
+    assert weak.check("bounded-staleness").status == UNKNOWN
+    assert "no declared bound" in weak.check("bounded-staleness").detail
+
+
+def test_stale_by_tier_attributes_staleness():
+    report = run_cache_cell("quorum", "read_through", seed=42,
+                            plan="partitions", ops=60)
+    # Both tiers served reads somewhere in the run.
+    assert "cache" in report.stale_by_tier
+    assert "store" in report.stale_by_tier
+    for fraction in report.stale_by_tier.values():
+        assert 0.0 <= fraction <= 1.0
+
+
+def test_grid_runner_and_formatter():
+    reports = run_cache_conformance(
+        adapters=["quorum", "causal"],
+        policies=("cache_aside", "write_behind"),
+        seed=42, plan="partitions", ops=30,
+    )
+    assert len(reports) == 4
+    assert {(r.adapter, r.policy) for r in reports} == {
+        ("quorum", "cache_aside"), ("quorum", "write_behind"),
+        ("causal", "cache_aside"), ("causal", "write_behind"),
+    }
+    text = format_cache_reports(reports)
+    assert "cache conformance" in text
+    assert "PASS: 4 cell(s) conform" in text
+    assert "bounded-staleness" in text
+
+
+def test_cell_is_deterministic_per_seed():
+    first = run_cache_cell("quorum", "write_behind", seed=7,
+                           plan="partitions", ops=40)
+    second = run_cache_cell("quorum", "write_behind", seed=7,
+                            plan="partitions", ops=40)
+    assert first.fingerprint == second.fingerprint
+    assert first.hit_rate == second.hit_rate

@@ -29,6 +29,7 @@ def test_scenario_registry_names():
     assert set(SCENARIOS) == {
         "quorum_ycsb", "sharded_ring", "multipaxos", "crdt_merge_storm",
         "quorum_chaos", "openloop_overload", "quorum_ycsb_100x",
+        "quorum_ycsb_cached",
     }
     for scenario in SCENARIOS.values():
         assert scenario.description
@@ -36,8 +37,11 @@ def test_scenario_registry_names():
 
 def test_default_scenarios_exclude_heavyweights():
     # The gated bench set (what BENCH_CORE.json pins) must not grow a
-    # heavyweight scenario by accident; 100x is opt-in only.
-    assert set(DEFAULT_SCENARIOS) == set(SCENARIOS) - {"quorum_ycsb_100x"}
+    # heavyweight or cross-layer scenario by accident; 100x and the
+    # cached variant are opt-in only.
+    assert set(DEFAULT_SCENARIOS) == set(SCENARIOS) - {
+        "quorum_ycsb_100x", "quorum_ycsb_cached",
+    }
 
 
 def test_hashing_tracer_matches_dumped_jsonl(tmp_path):

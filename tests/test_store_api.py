@@ -29,6 +29,8 @@ TUNING = {
     "chain": dict(),
     "multipaxos": dict(),
     "pileus": dict(pause=500.0),
+    # Default build: a write-through cache over a 3-node quorum store.
+    "cached": dict(),
 }
 
 ALL_PROTOCOLS = registry.names()
@@ -168,7 +170,7 @@ def test_non_coordinator_replica_crash(name):
     servers = store.server_ids()
     # Pin the session to the first server where the adapter allows it,
     # then crash the last server (never the pinned/primary one).
-    if name in ("quorum", "quorum_siblings"):
+    if name in ("quorum", "quorum_siblings", "cached"):
         session_opts["coordinator"] = servers[0]
     if name in ("causal", "timeline"):
         session_opts["home"] = servers[0]
@@ -215,6 +217,7 @@ FAILOVER_VICTIM = {
     "chain": -1,              # tail: fixed read/ack role, no failover
     "multipaxos": "leader",
     "pileus": 0,
+    "cached": 0,              # the inner quorum session's coordinator
 }
 
 
@@ -222,7 +225,7 @@ def _pin_session(name, store, servers):
     """Session options binding the session to ``servers[0]`` wherever
     the adapter allows, plus per-key mastership where it applies."""
     opts = dict(TUNING[name].get("session", {}))
-    if name in ("quorum", "quorum_siblings"):
+    if name in ("quorum", "quorum_siblings", "cached"):
         opts["coordinator"] = servers[0]
     if name in ("causal", "timeline"):
         opts["home"] = servers[0]
